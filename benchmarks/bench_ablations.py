@@ -1,0 +1,125 @@
+"""Ablation studies on DIM design choices the paper fixes implicitly.
+
+- speculation depth (the paper picks "up to three basic blocks");
+- ALU chaining per cycle (the paper says "more than one" simple op per
+  processor cycle; we sweep 1..4 — 1 reproduces the paper's averages);
+- reconfiguration-cache replacement (the paper uses FIFO; LRU is the
+  obvious alternative);
+- minimum cached block length (the paper caches only >3 instructions).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import format_table
+from repro.system import evaluate_trace, paper_system
+
+#: a balanced subset: 2 dataflow, 2 mid, 2 control, 2 cache-sensitive.
+SUBSET = ("rijndael_e", "sha", "jpeg_e", "susan_c", "quicksort",
+          "rawaudio_d", "patricia", "stringsearch")
+
+
+def geomean_speedup(traces, baselines, config, names=SUBSET):
+    product = 1.0
+    for name in names:
+        metrics = evaluate_trace(traces[name], config)
+        product *= baselines[name].cycles / metrics.cycles
+    return product ** (1.0 / len(names))
+
+
+def test_ablation_speculation_depth(benchmark, traces, baselines, capsys):
+    rows = []
+    values = {}
+    for depth in (0, 1, 2, 3, 4):
+        config = paper_system("C3", 64, speculation=depth > 0)
+        config = config.with_dim(max_spec_depth=depth)
+        value = geomean_speedup(traces, baselines, config)
+        values[depth] = value
+        rows.append([depth, value])
+    table = format_table(["spec depth (blocks)", "geomean speedup"], rows,
+                         title="Ablation — speculation depth at C#3 / 64")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    assert values[1] > values[0]          # first level pays the most
+    assert values[3] >= values[1]         # deeper never hurts on average
+    gain_1 = values[1] - values[0]
+    gain_4 = values[4] - values[3]
+    assert gain_1 > gain_4                # diminishing returns
+    config = paper_system("C3", 64, True)
+    benchmark.pedantic(
+        lambda: evaluate_trace(traces["quicksort"], config),
+        rounds=1, iterations=1)
+
+
+def test_ablation_alu_chain(benchmark, traces, baselines, capsys):
+    rows = []
+    values = {}
+    for chain in (1, 2, 3, 4):
+        config = paper_system("C3", 64, True)
+        config = replace(config, shape=replace(config.shape,
+                                               alu_chain=chain))
+        value = geomean_speedup(traces, baselines, config)
+        values[chain] = value
+        rows.append([chain, value])
+    table = format_table(["ALU lines per cycle", "geomean speedup"], rows,
+                         title="Ablation — ALU chaining (default: 2)")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    assert values[1] < values[2] < values[3] <= values[4] * 1.001
+    config = paper_system("C1", 64, True)
+    benchmark.pedantic(
+        lambda: evaluate_trace(traces["sha"], config),
+        rounds=1, iterations=1)
+
+
+def test_ablation_cache_policy(benchmark, traces, baselines, capsys):
+    sensitive = ("rijndael_e", "patricia", "stringsearch", "jpeg_e")
+    rows = []
+    values = {}
+    for slots in (8, 16, 32):
+        row = [slots]
+        for policy in ("fifo", "lru"):
+            config = paper_system("C3", slots, True)
+            config = config.with_dim(cache_policy=policy)
+            value = geomean_speedup(traces, baselines, config,
+                                    names=sensitive)
+            values[(slots, policy)] = value
+            row.append(value)
+        rows.append(row)
+    table = format_table(["#slots", "FIFO (paper)", "LRU"], rows,
+                         title="Ablation — reconfiguration-cache "
+                               "replacement (cache-sensitive workloads)")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    # both policies converge once the working set fits
+    assert abs(values[(32, "fifo")] - values[(32, "lru")]) \
+        / values[(32, "lru")] < 0.25
+    config = paper_system("C3", 8, True).with_dim(cache_policy="lru")
+    benchmark.pedantic(
+        lambda: evaluate_trace(traces["patricia"], config),
+        rounds=1, iterations=1)
+
+
+def test_ablation_min_block_length(benchmark, traces, baselines, capsys):
+    rows = []
+    values = {}
+    for min_len in (2, 4, 6, 8, 12):
+        config = paper_system("C3", 64, True)
+        config = config.with_dim(min_block_instructions=min_len)
+        value = geomean_speedup(traces, baselines, config)
+        values[min_len] = value
+        rows.append([min_len, value])
+    table = format_table(["min instructions", "geomean speedup"], rows,
+                         title="Ablation — minimum cached block length "
+                               "(paper: >3)")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    # tiny blocks are still worth caching relative to not caching them:
+    # raising the threshold should never help much
+    assert values[2] >= values[12] * 0.98
+    config = paper_system("C3", 64, True).with_dim(
+        min_block_instructions=12)
+    benchmark.pedantic(
+        lambda: evaluate_trace(traces["rawaudio_d"], config),
+        rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Figure 3 — workload characterisation.
+
+(a) how many basic blocks cover 20..100% of execution time;
+(b) average instructions per branch (dynamic basic-block size).
+"""
+
+import statistics
+
+import pytest
+
+from paper_data import PAPER_FIG3B_VALUES
+from repro.analysis import (
+    block_profile,
+    blocks_for_coverage,
+    format_table,
+    instructions_per_branch,
+)
+from repro.workloads import workload_names
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig3a_blocks_for_coverage(benchmark, traces, capsys):
+    rows = []
+    for name in workload_names():
+        coverage = blocks_for_coverage(traces[name], FRACTIONS)
+        rows.append([name] + [coverage[f] for f in FRACTIONS])
+    table = format_table(
+        ["algorithm"] + [f"{int(f * 100)}%" for f in FRACTIONS], rows,
+        title="Figure 3a — #basic blocks needed to cover X% of execution")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    coverage = {row[0]: row[1:] for row in rows}
+    # CRC-style kernels need only a handful of blocks...
+    assert coverage["crc"][3] <= 3          # 80% in <= 3 blocks
+    # ...while JPEG spreads execution over many more (the paper's point)
+    assert coverage["jpeg_d"][3] >= 3 * coverage["crc"][3]
+    benchmark.pedantic(lambda: blocks_for_coverage(traces["jpeg_d"]),
+                       rounds=3, iterations=1)
+
+
+def test_fig3b_instructions_per_branch(benchmark, traces, capsys):
+    rows = []
+    values = {}
+    for name in workload_names():
+        value = instructions_per_branch(traces[name])
+        values[name] = value
+        rows.append([name, value])
+    table = format_table(["algorithm", "instructions/branch"], rows,
+                         title="Figure 3b — average basic-block size")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+        ours = sorted(values.values())
+        paper = sorted(PAPER_FIG3B_VALUES)
+        print(f"distribution: ours median={statistics.median(ours):.1f} "
+              f"range=[{ours[0]:.1f}, {ours[-1]:.1f}]  |  paper "
+              f"median={statistics.median(paper):.1f} "
+              f"range=[{paper[0]:.1f}, {paper[-1]:.1f}]\n")
+
+    # the paper's extremes: rijndael most dataflow, rawaudio most control
+    assert values["rijndael_d"] == max(values.values())
+    assert values["rawaudio_d"] <= sorted(values.values())[3]
+    assert values["rijndael_e"] > 3 * values["rawaudio_d"]
+    benchmark.pedantic(lambda: block_profile(traces["sha"]),
+                       rounds=3, iterations=1)

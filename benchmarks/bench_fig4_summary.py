@@ -1,0 +1,55 @@
+"""Figure 4 — summary of Table 2: average speedup per configuration,
+cache size and speculation setting (the paper's bar chart, as a table)."""
+
+import pytest
+
+from paper_data import PAPER_TABLE2_AVERAGE
+from repro.analysis import format_table
+from repro.system import PAPER_CACHE_SLOTS
+from repro.workloads import workload_names
+
+from conftest import ARRAYS, speedup_of
+
+
+def test_fig4_average_speedups(benchmark, baselines, table2_sweep, capsys):
+    names = workload_names()
+
+    def average(array, spec, slots):
+        return sum(speedup_of(baselines, table2_sweep,
+                              (name, array, spec, slots))
+                   for name in names) / len(names)
+
+    rows = []
+    for spec in (False, True):
+        for slots in PAPER_CACHE_SLOTS:
+            row = [f"{'spec' if spec else 'no-spec'} / {slots} slots"]
+            for array in ARRAYS:
+                row.append(average(array, spec, slots))
+            index = PAPER_CACHE_SLOTS.index(slots)
+            row.append("  paper: " + " / ".join(
+                f"{PAPER_TABLE2_AVERAGE[(array, spec)][index]:.2f}"
+                for array in ARRAYS))
+            rows.append(row)
+    table = format_table(["setting", "C1", "C2", "C3", "(paper C1/C2/C3)"],
+                         rows,
+                         title="Figure 4 — average speedup by "
+                               "configuration")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    # monotone in array size for every (spec, slots) point
+    for spec in (False, True):
+        for slots in PAPER_CACHE_SLOTS:
+            series = [average(array, spec, slots) for array in ARRAYS]
+            assert series == sorted(series)
+    # monotone in cache size for every (array, spec) point
+    for array in ARRAYS:
+        for spec in (False, True):
+            series = [average(array, spec, slots)
+                      for slots in PAPER_CACHE_SLOTS]
+            assert series == sorted(series)
+    # the paper's headline: best configuration averages above 2.5x
+    assert average("C3", True, 256) > 2.5
+
+    benchmark.pedantic(lambda: average("C3", True, 64), rounds=3,
+                       iterations=1)

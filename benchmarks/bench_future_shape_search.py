@@ -1,0 +1,69 @@
+"""Future work #1 of the paper: finding the ideal array shape.
+
+Sweeps a grid of geometries around Table 1's designs, prices each with
+the Table 3 area model, and reports the best shapes by raw speedup and
+by speedup per million gates, plus the area/speedup Pareto front.
+"""
+
+import pytest
+
+from repro.analysis import format_table, pareto_front, search_shapes
+from repro.cgra.shape import ArrayShape
+
+WORKLOADS = ("rijndael_e", "sha", "jpeg_e", "quicksort", "rawaudio_d",
+             "stringsearch")
+
+GRID = [
+    ArrayShape(rows=rows, alus_per_row=alus, mults_per_row=2,
+               ldsts_per_row=ldsts, immediate_slots=2 * rows)
+    for rows in (16, 48, 150)
+    for alus in (4, 8, 12)
+    for ldsts in (2, 6)
+]
+
+
+def test_shape_search(benchmark, traces, capsys):
+    subset = {name: traces[name] for name in WORKLOADS}
+    by_speedup = search_shapes(subset, shapes=GRID, rank_by="speedup")
+    by_efficiency = search_shapes(subset, shapes=GRID,
+                                  rank_by="efficiency")
+
+    rows = []
+    for candidate in by_speedup[:6]:
+        s = candidate.shape
+        rows.append([f"{s.rows}x({s.alus_per_row}a+2m+{s.ldsts_per_row}l)",
+                     candidate.geomean_speedup, candidate.gates,
+                     candidate.efficiency])
+    table = format_table(["shape", "speedup", "gates", "x/Mgate"], rows,
+                         title="Shape search — top shapes by speedup")
+    with capsys.disabled():
+        print("\n" + table)
+        front = pareto_front(by_speedup)
+        print("\nArea/speedup Pareto front (cheapest first):")
+        for candidate in front:
+            print("  " + candidate.describe())
+        best_eff = by_efficiency[0]
+        print(f"\nmost area-efficient: {best_eff.describe()}\n")
+
+    # sanity: the fastest shape is at least as fast as every other
+    assert by_speedup[0].geomean_speedup >= \
+        by_speedup[-1].geomean_speedup
+    # efficiency ranking prefers (much) smaller arrays
+    assert by_efficiency[0].gates < by_speedup[0].gates
+    # the Pareto front is monotone in both axes
+    front = pareto_front(by_speedup)
+    for a, b in zip(front, front[1:]):
+        assert a.gates <= b.gates
+        assert a.geomean_speedup < b.geomean_speedup
+
+    # budget pruning never simulates over-budget shapes
+    budget = 1_000_000
+    limited = search_shapes(subset, shapes=GRID,
+                            area_budget_gates=budget)
+    assert all(c.gates <= budget for c in limited)
+    assert len(limited) < len(GRID)
+
+    tiny = {"quicksort": traces["quicksort"]}
+    benchmark.pedantic(
+        lambda: search_shapes(tiny, shapes=GRID[:2]),
+        rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Infrastructure throughput: how fast the simulators themselves run.
+
+Not a paper experiment — this is the bench that keeps the reproduction
+usable.  It reports instructions/second for the functional core, the
+coupled MIPS+DIM system, and events/second for the trace evaluator (the
+ratio between the last two is why the Table 2 sweep is tractable).
+"""
+
+import pytest
+
+from repro.minic import compile_to_program
+from repro.sim import Simulator, run_program
+from repro.system import evaluate_trace, paper_system
+from repro.system.coupled import CoupledSimulator
+
+KERNEL = """
+unsigned a[64];
+int main() {
+    int i; int p;
+    unsigned acc = 1;
+    for (p = 0; p < 30; p++) {
+        for (i = 0; i < 64; i++) {
+            acc = acc * 31 + (a[i] ^ (acc >> 5));
+            a[i] = acc;
+        }
+    }
+    print_int(acc & 0xffff);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    program = compile_to_program(KERNEL)
+    plain = run_program(program, collect_trace=True)
+    return program, plain
+
+
+def test_throughput_functional_core(benchmark, kernel, capsys):
+    program, plain = kernel
+    result = benchmark.pedantic(
+        lambda: Simulator(program).run(), rounds=3, iterations=1)
+    assert result.output == plain.output
+    rate = plain.stats.instructions / benchmark.stats.stats.mean
+    with capsys.disabled():
+        print(f"\nfunctional core: {rate / 1e3:.0f}k instructions/s")
+    assert rate > 30_000
+
+
+def test_throughput_coupled_system(benchmark, kernel, capsys):
+    program, plain = kernel
+    config = paper_system("C3", 64, True)
+    result = benchmark.pedantic(
+        lambda: CoupledSimulator(program, config).run(),
+        rounds=3, iterations=1)
+    assert result.output == plain.output
+    rate = plain.stats.instructions / benchmark.stats.stats.mean
+    with capsys.disabled():
+        print(f"\ncoupled MIPS+DIM: {rate / 1e3:.0f}k committed "
+              "instructions/s")
+    assert rate > 30_000
+
+
+def test_throughput_trace_evaluator(benchmark, kernel, capsys):
+    _, plain = kernel
+    config = paper_system("C3", 64, True)
+    benchmark.pedantic(lambda: evaluate_trace(plain.trace, config),
+                       rounds=5, iterations=1)
+    events = len(plain.trace.events)
+    rate = events / benchmark.stats.stats.mean
+    instr_rate = plain.stats.instructions / benchmark.stats.stats.mean
+    with capsys.disabled():
+        print(f"\ntrace evaluator: {rate / 1e3:.0f}k events/s "
+              f"(~{instr_rate / 1e6:.1f}M instructions/s equivalent)")
+    assert rate > 10_000

@@ -1,0 +1,99 @@
+"""Table 3 — area evaluation.
+
+(a) functional-unit/mux counts and gate totals for configuration #1 plus
+    the DIM hardware;
+(b) bits to store one configuration;
+(c) reconfiguration-cache size in bytes versus slot count.
+"""
+
+import pytest
+
+from paper_data import (
+    PAPER_TABLE3A,
+    PAPER_TABLE3A_TOTAL,
+    PAPER_TABLE3B,
+    PAPER_TABLE3B_TOTAL,
+    PAPER_TABLE3C,
+)
+from repro.analysis import format_table
+from repro.cgra.shape import ArrayShape
+from repro.system import PAPER_SHAPES, area_report, cache_bytes
+from repro.system.area import config_bits_report
+
+#: C#1 with the paper's own immediate-table sizing (4 x 32-bit slots) and
+#: its 3-lines-per-level write bitmap, for apples-to-apples Table 3b.
+C1_PAPER_BITS = ArrayShape(rows=24, alus_per_row=8, mults_per_row=1,
+                           ldsts_per_row=2, alu_chain=3, immediate_slots=4)
+
+
+def test_table3a_gate_counts(benchmark, capsys):
+    report = area_report(PAPER_SHAPES["C1"])
+    rows = []
+    for row in report.rows:
+        paper_count, paper_gates = PAPER_TABLE3A[row.unit]
+        rows.append([row.unit, row.count, row.gates, paper_count,
+                     paper_gates])
+    rows.append(["TOTAL", "", report.total_gates, "",
+                 PAPER_TABLE3A_TOTAL])
+    rows.append(["transistors (gates x 4)", "", report.transistors(), "",
+                 PAPER_TABLE3A_TOTAL * 4])
+    table = format_table(
+        ["unit", "count", "gates", "paper count", "paper gates"], rows,
+        title="Table 3a — area of configuration #1 + DIM hardware")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    assert abs(report.total_gates - PAPER_TABLE3A_TOTAL) \
+        / PAPER_TABLE3A_TOTAL < 0.02
+    # the paper's framing: the whole system is ~2.66M transistors,
+    # comparable to a single R10000 core (2.4M)
+    assert 2.4e6 < report.transistors() < 3.0e6
+    benchmark.pedantic(lambda: area_report(PAPER_SHAPES["C3"]),
+                       rounds=5, iterations=1)
+
+
+def test_table3b_configuration_bits(benchmark, capsys):
+    bits = config_bits_report(C1_PAPER_BITS)
+    rows = [
+        ["Write Bitmap Table*", bits.write_bitmap,
+         PAPER_TABLE3B["write_bitmap"]],
+        ["Resource Table", bits.resource_table,
+         PAPER_TABLE3B["resource_table"]],
+        ["Reads Table", bits.reads_table, PAPER_TABLE3B["reads_table"]],
+        ["Writes Table", bits.writes_table, PAPER_TABLE3B["writes_table"]],
+        ["Context Start", bits.context_start,
+         PAPER_TABLE3B["context_start"]],
+        ["Context Current", bits.context_current,
+         PAPER_TABLE3B["context_current"]],
+        ["Immediate Table", bits.immediate_table,
+         PAPER_TABLE3B["immediate_table"]],
+        ["TOTAL (stored)", bits.stored_bits, PAPER_TABLE3B_TOTAL],
+    ]
+    table = format_table(["table", "bits (ours)", "bits (paper)"], rows,
+                         title="Table 3b — bits per stored configuration "
+                               "(* detection-time only, not stored)")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    assert bits.write_bitmap == PAPER_TABLE3B["write_bitmap"]
+    assert bits.reads_table == PAPER_TABLE3B["reads_table"]
+    assert abs(bits.stored_bits - PAPER_TABLE3B_TOTAL) \
+        / PAPER_TABLE3B_TOTAL < 0.15
+    benchmark.pedantic(lambda: config_bits_report(C1_PAPER_BITS),
+                       rounds=5, iterations=1)
+
+
+def test_table3c_cache_bytes(benchmark, capsys):
+    rows = []
+    for slots, paper_bytes in sorted(PAPER_TABLE3C.items()):
+        ours = cache_bytes(C1_PAPER_BITS, slots)
+        rows.append([slots, ours, paper_bytes])
+    table = format_table(["#slots", "bytes (ours)", "bytes (paper)"], rows,
+                         title="Table 3c — reconfiguration-cache size")
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    # linear scaling, within 15% of the paper at every size
+    for slots, paper_bytes in PAPER_TABLE3C.items():
+        ours = cache_bytes(C1_PAPER_BITS, slots)
+        assert abs(ours - paper_bytes) / paper_bytes < 0.15
+    benchmark.pedantic(lambda: cache_bytes(C1_PAPER_BITS, 256),
+                       rounds=5, iterations=1)

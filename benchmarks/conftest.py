@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Tracing the 18 workloads is the expensive step (one functional simulation
+each); it happens once per session here.  The Table 2 sweep — every
+workload through every system configuration — is also computed once and
+shared by the Table 2 and Figure 4 benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.sim.trace import Trace
+from repro.system import (
+    PAPER_CACHE_SLOTS,
+    baseline_metrics,
+    evaluate_trace,
+    paper_system,
+)
+from repro.system.traceeval import SystemMetrics
+from repro.workloads import all_workloads, run_workload
+
+ARRAYS = ("C1", "C2", "C3")
+
+
+@pytest.fixture(scope="session")
+def traces() -> Dict[str, Trace]:
+    return {w.name: run_workload(w.name).trace for w in all_workloads()}
+
+
+@pytest.fixture(scope="session")
+def baselines(traces) -> Dict[str, SystemMetrics]:
+    return {name: baseline_metrics(trace)
+            for name, trace in traces.items()}
+
+
+#: (workload, array, spec, slots) -> SystemMetrics; slots=0 means ideal.
+SweepKey = Tuple[str, str, bool, int]
+
+
+@pytest.fixture(scope="session")
+def table2_sweep(traces) -> Dict[SweepKey, SystemMetrics]:
+    """The full Table 2 sweep: 18 workloads x (3 arrays x 2 x 3 + ideal x 2)."""
+    results: Dict[SweepKey, SystemMetrics] = {}
+    for name, trace in traces.items():
+        for array in ARRAYS:
+            for spec in (False, True):
+                for slots in PAPER_CACHE_SLOTS:
+                    config = paper_system(array, slots, spec)
+                    results[(name, array, spec, slots)] = \
+                        evaluate_trace(trace, config)
+        for spec in (False, True):
+            config = paper_system("ideal", speculation=spec)
+            results[(name, "ideal", spec, 0)] = evaluate_trace(trace,
+                                                               config)
+    return results
+
+
+def speedup_of(baselines, metrics_map, key) -> float:
+    name = key[0]
+    return baselines[name].cycles / metrics_map[key].cycles

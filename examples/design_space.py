@@ -1,0 +1,58 @@
+"""Design-space exploration with the trace-driven evaluator.
+
+Sweeps array geometry and reconfiguration-cache size for two contrasting
+workloads (AES: large dataflow blocks; quicksort: short control blocks)
+and prints the speedup surface — the kind of study Section 6 lists as
+future work ("finding the ideal shape for the reconfigurable array"),
+made cheap by the trace evaluator.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis import format_table
+from repro.cgra.shape import ArrayShape
+from repro.dim.params import DimParams
+from repro.sim.stats import TimingModel
+from repro.system import SystemConfig, baseline_metrics, evaluate_trace
+from repro.workloads import run_workload
+
+ROWS_SWEEP = (12, 24, 48, 96, 192)
+SLOTS_SWEEP = (8, 32, 128)
+
+
+def custom_system(rows: int, slots: int) -> SystemConfig:
+    shape = ArrayShape(rows=rows, alus_per_row=8, mults_per_row=2,
+                       ldsts_per_row=6, immediate_slots=2 * rows)
+    return SystemConfig(shape, DimParams(cache_slots=slots,
+                                         speculation=True),
+                        TimingModel(), name=f"{rows}r/{slots}s")
+
+
+def sweep(name: str) -> str:
+    trace = run_workload(name).trace
+    base = baseline_metrics(trace)
+    rows = []
+    for array_rows in ROWS_SWEEP:
+        row = [f"{array_rows} lines"]
+        for slots in SLOTS_SWEEP:
+            metrics = evaluate_trace(trace, custom_system(array_rows,
+                                                          slots))
+            row.append(base.cycles / metrics.cycles)
+        rows.append(row)
+    return format_table(
+        ["array size"] + [f"{s} slots" for s in SLOTS_SWEEP], rows,
+        title=f"speedup surface — {name}")
+
+
+def main() -> None:
+    for name in ("rijndael_e", "quicksort"):
+        print(sweep(name))
+        print()
+    print("reading the surface: AES keeps gaining from more lines (big "
+          "unrolled blocks)\nand from more cache slots (many distinct "
+          "blocks); quicksort saturates early\non both axes — its blocks "
+          "are small and few, so a modest array suffices.")
+
+
+if __name__ == "__main__":
+    main()

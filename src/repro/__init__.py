@@ -1,0 +1,23 @@
+"""Reproduction of Beck et al., "Transparent Reconfigurable Acceleration for
+Heterogeneous Embedded Applications" (DATE 2008).
+
+The package couples a from-scratch MIPS I toolchain and simulator with the
+paper's contribution: Dynamic Instruction Merging (DIM), a hardware binary
+translator that maps runs of MIPS instructions onto a coarse-grained
+reconfigurable array, caches the resulting configurations, and speculates
+across basic blocks with a bimodal predictor.
+
+Top-level convenience API
+-------------------------
+- :func:`repro.asm.assemble` — assemble MIPS source to a loadable program.
+- :func:`repro.minic.compile_to_program` — compile mini-C to a program.
+- :class:`repro.sim.Simulator` — the plain MIPS core.
+- :class:`repro.system.CoupledSimulator` — MIPS + DIM + array, bit-exact.
+- :func:`repro.system.evaluate_trace` — fast trace-driven evaluation.
+- :data:`repro.system.PAPER_CONFIGS` — Table 1's three array shapes.
+- :func:`repro.workloads.load_workload` — the 18 MiBench-analog kernels.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

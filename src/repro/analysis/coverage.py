@@ -1,0 +1,50 @@
+"""Figure 3a: how many basic blocks cover a given execution fraction.
+
+The paper counts, per benchmark, the number of distinct basic blocks one
+must implement in reconfigurable logic to cover 20/40/60/80/100% of the
+execution — its argument for why kernel-centric reconfigurable systems
+fail on heterogeneous code (JPEG needs ~20 blocks for 50%, CRC only 3
+for ~100%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.blocks import BlockProfile, block_profile
+from repro.sim.trace import Trace
+
+
+def coverage_curve(profile: BlockProfile) -> List[float]:
+    """Cumulative execution fraction after adding blocks hottest-first.
+
+    ``curve[k]`` is the fraction of dynamic instructions covered by the
+    ``k+1`` hottest blocks.
+    """
+    ranked = sorted(profile.instructions.values(), reverse=True)
+    total = profile.total_instructions or 1
+    curve: List[float] = []
+    acc = 0
+    for weight in ranked:
+        acc += weight
+        curve.append(acc / total)
+    return curve
+
+
+def blocks_for_coverage(trace_or_profile, fractions: Sequence[float] = (
+        0.2, 0.4, 0.6, 0.8, 1.0)) -> Dict[float, int]:
+    """Figure 3a: #blocks needed for each execution-time fraction."""
+    if isinstance(trace_or_profile, Trace):
+        profile = block_profile(trace_or_profile)
+    else:
+        profile = trace_or_profile
+    curve = coverage_curve(profile)
+    out: Dict[float, int] = {}
+    for fraction in fractions:
+        needed = len(curve)
+        for index, covered in enumerate(curve):
+            if covered >= fraction - 1e-12:
+                needed = index + 1
+                break
+        out[fraction] = needed
+    return out

@@ -1,0 +1,108 @@
+"""Array shape-space search — the paper's future work #1.
+
+"Currently, we are working on finding the ideal shape for the
+reconfigurable array."  This module does that search: it sweeps a grid
+of array geometries, evaluates each against a set of workload traces
+with the cycle-exact trace evaluator, prices each with the Table 3 area
+model, and ranks candidates by speedup, by area, or by speedup per gate
+under an optional area budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cgra.shape import ArrayShape
+from repro.dim.params import DimParams
+from repro.sim.stats import TimingModel
+from repro.sim.trace import Trace
+from repro.system.area import AreaParams, area_report
+from repro.system.config import SystemConfig
+from repro.system.traceeval import baseline_metrics, evaluate_trace
+
+
+@dataclass(frozen=True)
+class ShapeCandidate:
+    """One evaluated point of the design space."""
+
+    shape: ArrayShape
+    gates: int
+    geomean_speedup: float
+    #: speedup per million gates — the cost-efficiency metric.
+    efficiency: float
+
+    def describe(self) -> str:
+        s = self.shape
+        return (f"{s.rows}x({s.alus_per_row}a+{s.mults_per_row}m+"
+                f"{s.ldsts_per_row}ls): {self.geomean_speedup:.2f}x, "
+                f"{self.gates:,} gates, {self.efficiency:.2f}x/Mgate")
+
+
+def default_grid() -> List[ArrayShape]:
+    """A coarse but representative grid around Table 1's designs."""
+    shapes = []
+    for rows in (16, 24, 48, 96, 150):
+        for alus in (4, 8, 12):
+            for ldsts in (2, 6):
+                shapes.append(ArrayShape(
+                    rows=rows, alus_per_row=alus, mults_per_row=2,
+                    ldsts_per_row=ldsts, immediate_slots=2 * rows))
+    return shapes
+
+
+def search_shapes(traces: Dict[str, Trace],
+                  shapes: Optional[Iterable[ArrayShape]] = None,
+                  dim: Optional[DimParams] = None,
+                  timing: Optional[TimingModel] = None,
+                  area_budget_gates: Optional[int] = None,
+                  area_params: AreaParams = AreaParams(),
+                  rank_by: str = "speedup") -> List[ShapeCandidate]:
+    """Evaluate a shape grid against workload traces and rank it.
+
+    ``rank_by`` is 'speedup' or 'efficiency' (speedup per million
+    gates).  Shapes above ``area_budget_gates`` are skipped before any
+    simulation happens, so a tight budget makes the search cheap.
+    """
+    if rank_by not in ("speedup", "efficiency"):
+        raise ValueError(f"unknown ranking {rank_by!r}")
+    dim = dim or DimParams(cache_slots=64, speculation=True)
+    timing = timing or TimingModel()
+    baselines = {name: baseline_metrics(trace, timing)
+                 for name, trace in traces.items()}
+    candidates: List[ShapeCandidate] = []
+    for shape in (shapes if shapes is not None else default_grid()):
+        gates = area_report(shape, area_params).total_gates
+        if area_budget_gates is not None and gates > area_budget_gates:
+            continue
+        config = SystemConfig(shape, dim, timing,
+                              name=f"{shape.rows}r{shape.alus_per_row}a")
+        product = 1.0
+        for name, trace in traces.items():
+            metrics = evaluate_trace(trace, config)
+            product *= baselines[name].cycles / metrics.cycles
+        geomean = product ** (1.0 / len(traces))
+        candidates.append(ShapeCandidate(
+            shape=shape, gates=gates, geomean_speedup=geomean,
+            efficiency=geomean / (gates / 1e6)))
+    key = (lambda c: c.geomean_speedup) if rank_by == "speedup" \
+        else (lambda c: c.efficiency)
+    return sorted(candidates, key=key, reverse=True)
+
+
+def pareto_front(candidates: Sequence[ShapeCandidate]
+                 ) -> List[ShapeCandidate]:
+    """Area/speedup Pareto-optimal candidates, cheapest first.
+
+    A candidate survives if no other one is both cheaper (or equal) and
+    faster.
+    """
+    by_area = sorted(candidates, key=lambda c: (c.gates,
+                                                -c.geomean_speedup))
+    front: List[ShapeCandidate] = []
+    best = 0.0
+    for candidate in by_area:
+        if candidate.geomean_speedup > best:
+            front.append(candidate)
+            best = candidate.geomean_speedup
+    return front

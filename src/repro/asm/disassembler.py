@@ -1,0 +1,46 @@
+"""Disassembler for debugging and for DIM diagnostics."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.asm.program import Program
+from repro.isa.instruction import Instruction, decode
+from repro.isa.opcodes import InstrClass
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """Render one 32-bit word as assembly (branch targets absolute)."""
+    instr = decode(word)
+    if instr is None:
+        return f".word 0x{word:08x}"
+    return render(instr, pc)
+
+
+def render(instr: Instruction, pc: int = 0) -> str:
+    """Render an instruction; branches show their absolute target."""
+    if instr.info.is_control and instr.klass is not InstrClass.NOP:
+        if instr.mnemonic in ("jr", "jalr"):
+            return str(instr)
+        target = instr.branch_target(pc)
+        text = str(instr)
+        head = text.rsplit(",", 1)[0] if "," in text else text.split()[0]
+        if instr.mnemonic in ("j", "jal"):
+            return f"{instr.mnemonic} 0x{target:08x}"
+        return f"{head}, 0x{target:08x}"
+    return str(instr)
+
+
+def disassemble_program(program: Program,
+                        start: Optional[int] = None,
+                        count: Optional[int] = None) -> List[str]:
+    """Disassemble ``count`` instructions beginning at ``start``."""
+    start = program.text_base if start is None else start
+    if count is None:
+        count = (program.text_end - start) // 4
+    lines = []
+    for i in range(count):
+        pc = start + 4 * i
+        word = program.word_at(pc)
+        lines.append(f"{pc:08x}:  {disassemble_word(word, pc)}")
+    return lines

@@ -1,0 +1,37 @@
+"""The coarse-grained reconfigurable array model.
+
+The array is the two-dimensional structure of Section 4.1 of the paper:
+``rows`` lines, each line holding a fixed mix of ALUs, multipliers and
+load/store units, plus input/output multiplexers on a set of bus lines.
+:mod:`repro.cgra.allocation` implements the table-driven placement that
+DIM's hardware performs (dependence bitmap per line, resource table,
+input/output context); :mod:`repro.cgra.configuration` is the finished,
+cacheable configuration with its timing.
+"""
+
+from repro.cgra.shape import ArrayShape, INFINITE_SHAPE
+from repro.cgra.dataflow import (
+    HI,
+    LO,
+    dim_sources,
+    dim_destinations,
+    dim_fu_class,
+    dim_supported,
+)
+from repro.cgra.allocation import Allocator, AllocationResult
+from repro.cgra.configuration import ConfigBlock, Configuration
+
+__all__ = [
+    "ArrayShape",
+    "INFINITE_SHAPE",
+    "HI",
+    "LO",
+    "dim_sources",
+    "dim_destinations",
+    "dim_fu_class",
+    "dim_supported",
+    "Allocator",
+    "AllocationResult",
+    "ConfigBlock",
+    "Configuration",
+]

@@ -1,0 +1,107 @@
+"""Finished, cacheable array configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cgra.allocation import AllocationResult
+from repro.cgra.shape import ArrayShape
+from repro.sim.trace import BasicBlock
+
+
+@dataclass
+class ConfigBlock:
+    """One basic block's contribution to a configuration.
+
+    ``covered`` counts instructions from the block start that execute on
+    the array.  When the block's terminating branch is merged into the
+    configuration (speculation), ``expected_taken`` records the direction
+    the configuration was built for; otherwise the terminator executes on
+    the processor after the array finishes.
+    """
+
+    block: BasicBlock
+    covered: int
+    includes_terminator: bool
+    expected_taken: Optional[bool] = None
+
+    @property
+    def body_len(self) -> int:
+        """Instructions in the block excluding the terminator."""
+        if self.block.terminator is None:
+            return len(self.block)
+        return len(self.block) - 1
+
+
+@dataclass
+class Configuration:
+    """A translated instruction tree, as stored in the reconfiguration cache.
+
+    The runtime-mutable fields track the speculation health of this entry:
+    ``misspec_count`` counts wrong-direction executions since the last
+    (re)build and triggers a flush at the engine's threshold.
+    """
+
+    start_pc: int
+    blocks: List[ConfigBlock]
+    result: AllocationResult
+    shape: ArrayShape
+    #: False once the translator decided no further blocks can be merged.
+    extendable: bool = True
+    #: runtime state
+    misspec_count: int = 0
+    hits: int = 0
+    builds: int = 1
+
+    @property
+    def exec_cycles(self) -> int:
+        """Array busy time per execution.
+
+        Line delays plus the post-resolution drain of speculative
+        live-outs through the register-file write ports (non-speculative
+        results write back overlapped with execution, Section 4.2).
+        """
+        spec_wb = -(-self.result.speculative_outputs
+                    // self.shape.rf_write_ports)
+        return self.result.exec_cycles + spec_wb
+
+    @property
+    def reconfiguration_cycles(self) -> int:
+        return self.shape.reconfiguration_cycles(len(self.result.inputs))
+
+    @property
+    def covered_instructions(self) -> int:
+        """Total instructions executed by the array on a fully-correct run."""
+        total = 0
+        for cfg_block in self.blocks:
+            total += cfg_block.covered
+            if cfg_block.includes_terminator:
+                total += 1
+        return total
+
+    @property
+    def speculative_depth(self) -> int:
+        """Number of speculated block boundaries."""
+        return sum(1 for b in self.blocks if b.includes_terminator
+                   and b.block.is_conditional)
+
+    @property
+    def is_speculative(self) -> bool:
+        return len(self.blocks) > 1
+
+    def describe(self) -> str:
+        parts = [f"config@0x{self.start_pc:08x}:"]
+        for cfg_block in self.blocks:
+            term = ""
+            if cfg_block.includes_terminator:
+                term = " +T" if cfg_block.expected_taken else " +NT"
+            parts.append(
+                f"  block 0x{cfg_block.block.start_pc:08x} "
+                f"covers {cfg_block.covered}/{cfg_block.body_len}{term}")
+        res = self.result
+        parts.append(
+            f"  {res.num_instructions} ops on {res.lines_used} lines, "
+            f"{res.exec_cycles} cycles, {len(res.inputs)} in / "
+            f"{len(res.outputs)} out")
+        return "\n".join(parts)

@@ -1,0 +1,101 @@
+"""DIM's dataflow view of MIPS instructions.
+
+The translation hardware tracks dependences through the 32 general
+registers plus the HI/LO multiply results, which it treats as two extra
+context slots (indices 32 and 33).  That is what lets ``mult``/``mflo``
+pairs — ubiquitous in compiled code — live inside one configuration
+instead of terminating translation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass
+
+#: context indices for the multiply result registers.
+HI = 32
+LO = 33
+
+
+def dim_supported(instr: Instruction) -> bool:
+    """Whether DIM can place this instruction inside a configuration.
+
+    ALU ops, shifts, multiplies, HI/LO moves and loads/stores are
+    supported; divides (no divider in the array), jumps and syscalls are
+    not.  Conditional branches are *terminators*: they may enter a
+    configuration only as the comparison guarding a speculated block, so
+    they are reported unsupported here and handled by the translator.
+    """
+    klass = instr.klass
+    if klass in (InstrClass.ALU, InstrClass.SHIFT, InstrClass.MULT,
+                 InstrClass.LOAD, InstrClass.STORE, InstrClass.NOP):
+        return True
+    if klass is InstrClass.HILO:
+        return True
+    return False
+
+
+def dim_fu_class(instr: Instruction) -> str:
+    """Functional-unit class consumed: 'alu', 'mult' or 'mem'.
+
+    HI/LO moves and branch comparisons occupy ALU slots; nops occupy
+    nothing but are mapped to 'alu' for uniformity (the translator skips
+    them).
+    """
+    klass = instr.klass
+    if klass is InstrClass.MULT:
+        return "mult"
+    if klass in (InstrClass.LOAD, InstrClass.STORE):
+        return "mem"
+    return "alu"
+
+
+def dim_sources(instr: Instruction) -> Tuple[int, ...]:
+    """Context slots read (register numbers, plus HI/LO), $zero excluded."""
+    klass = instr.klass
+    if klass is InstrClass.HILO:
+        if instr.mnemonic == "mfhi":
+            return (HI,)
+        if instr.mnemonic == "mflo":
+            return (LO,)
+        # mthi / mtlo read a GPR
+        return tuple(r for r in (instr.rs,) if r != 0)
+    return tuple(r for r in instr.sources() if r != 0)
+
+
+def dim_destinations(instr: Instruction) -> Tuple[int, ...]:
+    """Context slots written (register numbers, plus HI/LO)."""
+    klass = instr.klass
+    if klass is InstrClass.MULT:
+        return (HI, LO)
+    if klass is InstrClass.HILO:
+        if instr.mnemonic == "mthi":
+            return (HI,)
+        if instr.mnemonic == "mtlo":
+            return (LO,)
+        dest = instr.destination()
+        return (dest,) if dest is not None else ()
+    dest = instr.destination()
+    return (dest,) if dest is not None else ()
+
+
+def has_immediate(instr: Instruction) -> bool:
+    """Whether the configuration must store an immediate for this op."""
+    info = instr.info
+    if info.fmt.value == "I" and instr.klass is not InstrClass.BRANCH:
+        return instr.imm != 0
+    if instr.mnemonic in ("sll", "srl", "sra"):
+        return instr.shamt != 0
+    return False
+
+
+def memory_kind(instr: Instruction) -> Optional[str]:
+    """'load', 'store' or None."""
+    klass = instr.klass
+    if klass is InstrClass.LOAD:
+        return "load"
+    if klass is InstrClass.STORE:
+        return "store"
+    return None

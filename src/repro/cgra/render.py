@@ -1,0 +1,55 @@
+"""ASCII rendering of array configurations — Figure 2 as a diagnostic.
+
+Shows which functional unit of which line executes each translated
+instruction, the input/output context and the timing summary — the view
+the paper sketches in Figure 2c for a sequence of eight instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cgra.configuration import Configuration
+from repro.cgra.dataflow import HI, LO, dim_fu_class
+from repro.isa.registers import register_name
+
+
+def _slot_name(slot: int) -> str:
+    if slot == HI:
+        return "hi"
+    if slot == LO:
+        return "lo"
+    return f"${register_name(slot)}"
+
+
+def render_configuration(config: Configuration,
+                         max_ops_per_line: int = 6) -> str:
+    """Render a configuration as a line-by-line ASCII grid."""
+    result = config.result
+    by_line: Dict[int, List[str]] = {}
+    for instr, line in result.placements:
+        kind = dim_fu_class(instr)
+        tag = {"alu": "A", "mult": "M", "mem": "L"}[kind]
+        by_line.setdefault(line, []).append(
+            f"[{tag}] {str(instr)}")
+    out: List[str] = [config.describe(), ""]
+    shape = config.shape
+    for line in sorted(by_line):
+        ops = by_line[line]
+        has_mem = any(op.startswith("[L]") for op in ops)
+        has_mult = any(op.startswith("[M]") for op in ops)
+        delay = shape.line_delay(has_mem, has_mult)
+        shown = ops[:max_ops_per_line]
+        more = len(ops) - len(shown)
+        suffix = f"  (+{more} more)" if more > 0 else ""
+        out.append(f"line {line:3d} ({delay:4.2f} cyc): "
+                   + "  ".join(shown) + suffix)
+    inputs = ", ".join(_slot_name(s) for s in sorted(result.inputs))
+    outputs = ", ".join(_slot_name(s) for s in sorted(result.outputs))
+    out.append("")
+    out.append(f"input context : {inputs or '(none)'}")
+    out.append(f"output context: {outputs or '(none)'}")
+    out.append(f"execution     : {config.exec_cycles} cycles on "
+               f"{result.lines_used} lines, "
+               f"{config.reconfiguration_cycles} reconfiguration cycles")
+    return "\n".join(out)

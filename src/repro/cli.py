@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro.cli``):
+
+- ``run <file.s|file.c|workload> [--array C3] [--slots 64] [--spec]``
+  — run a program or named workload on the plain MIPS and on the coupled
+  system, printing outputs, cycles, speedup and DIM statistics.
+- ``workloads`` — list the 18 MiBench-analog workloads.
+- ``inspect <file.s|workload> [--array C1] [--spec]`` — translate the
+  hottest basic block and render the resulting array configuration.
+- ``characterize <workload>`` — Figure 3-style block profile.
+- ``report <target>`` — full acceleration report: characterisation,
+  speedup/energy, DIM statistics and the hottest configurations.
+- ``suite [--array C2] [--slots 64] [--spec] [--json out.json]`` —
+  evaluate the whole Table 2 suite against one system.
+- ``disasm <file.s|file.c|workload>`` — disassemble a target's text
+  segment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import blocks_for_coverage, instructions_per_branch
+from repro.asm import assemble
+from repro.asm.program import Program
+from repro.cgra.render import render_configuration
+from repro.dim import BimodalPredictor, DimParams, Translator
+from repro.minic import compile_to_program
+from repro.sim import Simulator, run_program
+from repro.system import PAPER_SHAPES, evaluate_trace, paper_system
+from repro.system.coupled import run_coupled
+from repro.system.energy import energy_ratio
+from repro.system.traceeval import baseline_metrics
+from repro.workloads import all_workloads, load_workload, workload_names
+
+
+def _load_target(target: str) -> Program:
+    """Resolve a CLI target: workload name, .s assembly, or .c mini-C."""
+    if target in workload_names():
+        return load_workload(target)
+    if target.endswith(".s") or target.endswith(".asm"):
+        with open(target) as handle:
+            return assemble(handle.read())
+    if target.endswith(".c"):
+        with open(target) as handle:
+            return compile_to_program(handle.read(), source_name=target)
+    raise SystemExit(
+        f"unknown target {target!r}: expected a workload name "
+        f"(see 'workloads'), a .s file, or a .c file")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_target(args.target)
+    config = paper_system(args.array, args.slots, args.spec)
+    plain = run_program(program, collect_trace=True)
+    print(f"plain MIPS : {plain.stats.cycles:,} cycles, "
+          f"{plain.stats.instructions:,} instructions, "
+          f"exit={plain.exit_code}")
+    if plain.output:
+        print(f"output     : {plain.output.strip()}")
+    accel = run_coupled(program, config)
+    assert accel.output == plain.output
+    dim = accel.dim_stats
+    base = baseline_metrics(plain.trace, config.timing)
+    metrics = evaluate_trace(plain.trace, config)
+    print(f"\n{config.name}: {accel.stats.cycles:,} cycles "
+          f"-> {plain.stats.cycles / accel.stats.cycles:.2f}x speedup, "
+          f"{energy_ratio(base, metrics):.2f}x less energy")
+    print(f"DIM        : {dim.translations} translations, "
+          f"{dim.extensions} extensions, {dim.flushes} flushes, "
+          f"{dim.misspeculations} mis-speculations")
+    print(f"array      : {dim.array_executions:,} executions covering "
+          f"{dim.array_instructions:,} instructions "
+          f"({dim.array_instructions / plain.stats.instructions:.0%} of "
+          "the program)")
+    print(f"cache      : {accel.cache_hits:,}/{accel.cache_lookups:,} "
+          f"hits, predictor accuracy "
+          f"{accel.predictor_accuracy:.1%}")
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    print(f"{'name':14s} {'paper row':16s} {'class':9s} description")
+    for workload in all_workloads():
+        print(f"{workload.name:14s} {workload.paper_name:16s} "
+              f"{workload.category:9s} {workload.description}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    program = _load_target(args.target)
+    result = run_program(program, collect_trace=True)
+    counts = result.trace.block_execution_counts()
+    hottest_id = max(counts, key=lambda b: counts[b] *
+                     len(result.trace.table.get(b)))
+    block = result.trace.table.get(hottest_id)
+    print(f"hottest block: 0x{block.start_pc:08x}, {len(block)} "
+          f"instructions, executed {counts[hottest_id]:,} times\n")
+    sim = Simulator(program)
+    predictor = BimodalPredictor(512)
+    if args.spec and block.is_conditional:
+        for _ in range(3):
+            predictor.update(block.branch_pc, True)
+    translator = Translator(PAPER_SHAPES[args.array],
+                            DimParams(speculation=args.spec),
+                            predictor, sim.block_at)
+    config = translator.translate(sim.block_at(block.start_pc))
+    if config is None:
+        print("block too short to translate (fewer than 4 instructions)")
+        return 1
+    print(render_configuration(config))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    program = _load_target(args.target)
+    result = run_program(program, collect_trace=True)
+    trace = result.trace
+    coverage = blocks_for_coverage(trace)
+    print(f"instructions        : {result.stats.instructions:,}")
+    print(f"distinct blocks     : {len(trace.table)}")
+    print(f"instructions/branch : {instructions_per_branch(trace):.1f}")
+    for fraction in sorted(coverage):
+        print(f"blocks for {fraction:4.0%}     : {coverage[fraction]}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.system.report import build_report
+
+    program = _load_target(args.target)
+    config = paper_system(args.array, args.slots, args.spec)
+    report = build_report(program, config)
+    print(report.render())
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import evaluate_suite, format_suite
+
+    config = paper_system(args.array, args.slots, args.spec)
+    result = evaluate_suite(config)
+    print(format_suite(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result.to_json())
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.asm.disassembler import disassemble_program
+
+    program = _load_target(args.target)
+    for line in disassemble_program(program):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transparent reconfigurable acceleration (DIM) "
+                    "toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a target plain and accelerated")
+    run_p.add_argument("target")
+    run_p.add_argument("--array", default="C3",
+                       choices=sorted(PAPER_SHAPES))
+    run_p.add_argument("--slots", type=int, default=64)
+    run_p.add_argument("--spec", action="store_true")
+    run_p.set_defaults(func=_cmd_run)
+
+    sub.add_parser("workloads",
+                   help="list the benchmark suite").set_defaults(
+        func=_cmd_workloads)
+
+    inspect_p = sub.add_parser("inspect",
+                               help="render the hottest block's "
+                                    "configuration")
+    inspect_p.add_argument("target")
+    inspect_p.add_argument("--array", default="C1",
+                           choices=sorted(PAPER_SHAPES))
+    inspect_p.add_argument("--spec", action="store_true")
+    inspect_p.set_defaults(func=_cmd_inspect)
+
+    char_p = sub.add_parser("characterize",
+                            help="Figure 3-style block profile")
+    char_p.add_argument("target")
+    char_p.set_defaults(func=_cmd_characterize)
+
+    report_p = sub.add_parser("report",
+                              help="full acceleration report for a "
+                                   "target")
+    report_p.add_argument("target")
+    report_p.add_argument("--array", default="C2",
+                          choices=sorted(PAPER_SHAPES))
+    report_p.add_argument("--slots", type=int, default=64)
+    report_p.add_argument("--spec", action="store_true")
+    report_p.set_defaults(func=_cmd_report)
+
+    suite_p = sub.add_parser("suite",
+                             help="evaluate the whole Table 2 suite")
+    suite_p.add_argument("--array", default="C2",
+                         choices=sorted(PAPER_SHAPES))
+    suite_p.add_argument("--slots", type=int, default=64)
+    suite_p.add_argument("--spec", action="store_true")
+    suite_p.add_argument("--json", default=None,
+                         help="also write results as JSON")
+    suite_p.set_defaults(func=_cmd_suite)
+
+    disasm_p = sub.add_parser("disasm", help="disassemble a target")
+    disasm_p.add_argument("target")
+    disasm_p.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

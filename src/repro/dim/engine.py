@@ -1,0 +1,173 @@
+"""The online DIM state machine.
+
+This class carries everything the DIM hardware owns — predictor,
+reconfiguration cache, translator — and implements the run-time policies:
+translate a block the first time it retires, serve later executions from
+the cache, extend a cached configuration when its terminating branch
+saturates the bimodal counter, and flush a configuration after repeated
+mis-speculation.  Both the bit-exact coupled simulator and the fast
+trace-driven evaluator drive this same object, which is what keeps them
+in cycle-exact agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cgra.configuration import ConfigBlock, Configuration
+from repro.cgra.shape import ArrayShape
+from repro.dim.params import DimParams
+from repro.dim.predictor import BimodalPredictor
+from repro.dim.rcache import ReconfigurationCache
+from repro.dim.translator import BlockProvider, Translator
+from repro.isa.opcodes import InstrClass
+from repro.sim.trace import BasicBlock
+
+
+@dataclass
+class DimStats:
+    """Activity counters for the DIM hardware."""
+
+    translations: int = 0
+    translated_instructions: int = 0
+    extensions: int = 0
+    flushes: int = 0
+    array_executions: int = 0
+    array_instructions: int = 0
+    array_alu_ops: int = 0
+    array_mult_ops: int = 0
+    array_mem_ops: int = 0
+    misspeculations: int = 0
+    full_commits: int = 0
+    reconfiguration_stalls: int = 0
+    #: total cycles the array spent executing (for the energy model).
+    array_cycles: int = 0
+    #: line-cycles actually occupied (for the FU-gating energy study).
+    array_line_cycles: int = 0
+    #: line-cycles if every line is always powered (no gating).
+    array_potential_line_cycles: int = 0
+    #: configurations written into the reconfiguration cache.
+    config_writes: int = 0
+
+
+class DimEngine:
+    """Predictor + cache + translator with the paper's run-time policies."""
+
+    def __init__(self, shape: ArrayShape, params: DimParams,
+                 block_provider: BlockProvider):
+        self.shape = shape
+        self.params = params
+        self.predictor = BimodalPredictor(params.predictor_entries)
+        self.cache = ReconfigurationCache(params.cache_slots,
+                                          params.cache_policy)
+        self.translator = Translator(shape, params, self.predictor,
+                                     block_provider)
+        self.stats = DimStats()
+
+    # ------------------------------------------------------------------
+    # Block-start path.
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[Configuration]:
+        """Cache lookup performed at every block start."""
+        return self.cache.lookup(pc)
+
+    def maybe_extend(self, config: Configuration) -> Configuration:
+        """Try to deepen a configuration before executing it.
+
+        Called on every cache hit; re-translates only when the last
+        block's terminator has become predictable since the build.
+        Returns the configuration to execute (the new one if replaced).
+        """
+        if not config.extendable:
+            return config
+        last = config.blocks[-1]
+        term = last.block.terminator
+        if term is None:
+            config.extendable = False
+            return config
+        if term.klass is InstrClass.BRANCH:
+            if self.predictor.saturated_direction(last.block.branch_pc) \
+                    is None:
+                return config
+        new = self.translator.translate(config.blocks[0].block)
+        self.stats.translations += 1
+        if new is not None \
+                and new.covered_instructions > config.covered_instructions:
+            self.stats.extensions += 1
+            self.stats.translated_instructions += new.covered_instructions
+            self.stats.config_writes += 1
+            self.cache.insert(new)
+            return new
+        # nothing gained; remember whether a later attempt could help
+        config.extendable = bool(new is not None and new.extendable)
+        return config
+
+    # ------------------------------------------------------------------
+    # Normal-execution path.
+    # ------------------------------------------------------------------
+    def observe_branch(self, branch_pc: int, taken: bool) -> None:
+        """Train the predictor with a branch executed by the processor."""
+        self.predictor.update(branch_pc, taken)
+
+    def consider_translation(self, block: BasicBlock) -> None:
+        """Translate a block that just executed normally from its start."""
+        if self.cache.peek(block.start_pc) is not None:
+            return
+        config = self.translator.translate(block)
+        self.stats.translations += 1
+        if config is not None:
+            self.stats.translated_instructions += \
+                config.covered_instructions
+            self.stats.config_writes += 1
+            self.cache.insert(config)
+
+    # ------------------------------------------------------------------
+    # Array-execution bookkeeping (shared by coupled sim and trace eval).
+    # ------------------------------------------------------------------
+    def begin_execution(self, config: Configuration) -> int:
+        """Account one array execution; returns the core stall cycles."""
+        stats = self.stats
+        stats.array_executions += 1
+        result = config.result
+        stats.array_alu_ops += result.alu_ops
+        stats.array_mult_ops += result.mult_ops
+        stats.array_mem_ops += result.mem_ops
+        stats.array_cycles += config.exec_cycles
+        stats.array_line_cycles += \
+            result.lines_used * config.exec_cycles
+        stats.array_potential_line_cycles += \
+            min(self.shape.rows, 1 << 20) * config.exec_cycles
+        stall = max(0, config.reconfiguration_cycles
+                    - self.params.reconfig_overlap)
+        stats.reconfiguration_stalls += stall
+        return stall
+
+    def speculation_outcome(self, config: Configuration,
+                            cfg_block: ConfigBlock, actual: bool) -> bool:
+        """Resolve one speculated terminator; returns True on a match.
+
+        Trains the predictor and counts mis-speculations.  Per the paper,
+        a configuration is flushed when its branch "achiev[es] the
+        opposite value of the respective counter" — i.e. the program's
+        behaviour genuinely changed phase — or after
+        ``misspec_flush_threshold`` *consecutive* wrong directions.  An
+        occasional wrong exit (a loop ending) costs only the
+        mis-speculation penalty and never evicts the configuration.
+        """
+        is_cond = cfg_block.block.is_conditional
+        if is_cond:
+            self.predictor.update(cfg_block.block.branch_pc, actual)
+        if actual == cfg_block.expected_taken:
+            config.misspec_count = 0
+            return True
+        self.stats.misspeculations += 1
+        config.misspec_count += 1
+        opposite = is_cond and self.predictor.saturated_direction(
+            cfg_block.block.branch_pc) == (not cfg_block.expected_taken)
+        if opposite \
+                or config.misspec_count >= \
+                self.params.misspec_flush_threshold:
+            self.cache.invalidate(config.start_pc)
+            self.stats.flushes += 1
+        return False

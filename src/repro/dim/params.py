@@ -1,0 +1,41 @@
+"""DIM policy parameters.
+
+Defaults follow the paper's wording: configurations must exceed three
+instructions to be cached; speculation covers "up to three basic blocks";
+a configuration is flushed after "a predefined number" of
+mis-speculations (we default to 2); counters must saturate before a block
+is merged speculatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DimParams:
+    """Behavioural knobs of the DIM engine."""
+
+    #: reconfiguration-cache capacity (the paper sweeps 16 / 64 / 256).
+    cache_slots: int = 64
+    #: 'fifo' (the paper) or 'lru' (ablation).
+    cache_policy: str = "fifo"
+    #: enable speculative merging of basic blocks.
+    speculation: bool = False
+    #: maximum speculated conditional branches per configuration.
+    max_spec_depth: int = 3
+    #: hard bound on blocks per configuration (catches long `j` chains).
+    max_blocks: int = 8
+    #: minimum covered instructions for a configuration to be cached
+    #: ("more than three instructions").
+    min_block_instructions: int = 4
+    #: wrong-direction executions before the configuration is flushed.
+    misspec_flush_threshold: int = 2
+    #: pipeline refill cycles after the array exits on a wrong direction
+    #: (squash the gated write-backs, refetch from the resolved target).
+    misspec_penalty: int = 4
+    #: bimodal predictor size (2-bit counters).
+    predictor_entries: int = 512
+    #: pipeline stages that overlap reconfiguration ("three cycles
+    #: available for the array reconfiguration").
+    reconfig_overlap: int = 3

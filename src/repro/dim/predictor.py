@@ -1,0 +1,64 @@
+"""Bimodal branch predictor (Smith, 1981) used by DIM's speculation policy.
+
+Each branch maps to a 2-bit saturating counter.  DIM only merges a basic
+block into a configuration when the counter of the guarding branch is
+*saturated* (0 = strongly not-taken, 3 = strongly taken), per Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating counters indexed by branch PC."""
+
+    STRONG_NOT_TAKEN = 0
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+    STRONG_TAKEN = 3
+
+    def __init__(self, entries: int = 512, initial: int = 1):
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._initial = initial
+        self._counters: Dict[int, int] = {}
+        self.updates = 0
+        self.hits = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def counter(self, pc: int) -> int:
+        return self._counters.get(self._index(pc), self._initial)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self.counter(pc) >= self.WEAK_TAKEN
+
+    def saturated_direction(self, pc: int) -> Optional[bool]:
+        """True/False when the counter is saturated, None otherwise."""
+        counter = self.counter(pc)
+        if counter == self.STRONG_TAKEN:
+            return True
+        if counter == self.STRONG_NOT_TAKEN:
+            return False
+        return None
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters.get(index, self._initial)
+        self.updates += 1
+        if (counter >= self.WEAK_TAKEN) == taken:
+            self.hits += 1
+        if taken:
+            counter = min(self.STRONG_TAKEN, counter + 1)
+        else:
+            counter = max(self.STRONG_NOT_TAKEN, counter - 1)
+        self._counters[index] = counter
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.updates if self.updates else 0.0

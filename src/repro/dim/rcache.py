@@ -1,0 +1,80 @@
+"""The reconfiguration cache.
+
+A fully-associative cache of finished configurations, indexed by the PC
+of the first translated instruction and replaced FIFO, exactly as in
+Section 3 ("a new entry in the cache (based on FIFO) is created").  An
+LRU policy is available for the replacement-policy ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cgra.configuration import Configuration
+
+
+class ReconfigurationCache:
+    """PC-indexed configuration store with FIFO or LRU replacement."""
+
+    def __init__(self, slots: int, policy: str = "fifo"):
+        if slots <= 0:
+            raise ValueError("cache needs at least one slot")
+        if policy not in ("fifo", "lru"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.slots = slots
+        self.policy = policy
+        self._entries: "OrderedDict[int, Configuration]" = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def lookup(self, pc: int) -> Optional[Configuration]:
+        """Stats-counting lookup, performed once per executed block."""
+        self.lookups += 1
+        config = self._entries.get(pc)
+        if config is not None:
+            self.hits += 1
+            config.hits += 1
+            if self.policy == "lru":
+                self._entries.move_to_end(pc)
+        return config
+
+    def peek(self, pc: int) -> Optional[Configuration]:
+        """Stats-free lookup used by the engine's bookkeeping."""
+        return self._entries.get(pc)
+
+    def insert(self, config: Configuration) -> None:
+        """Insert (or replace) the configuration for its start PC.
+
+        Replacement of an existing entry keeps its queue position — the
+        hardware rewrites the slot in place.
+        """
+        pc = config.start_pc
+        if pc in self._entries:
+            old = self._entries[pc]
+            config.builds = old.builds + 1
+            self._entries[pc] = config
+            return
+        if len(self._entries) >= self.slots:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[pc] = config
+        self.insertions += 1
+
+    def invalidate(self, pc: int) -> None:
+        if pc in self._entries:
+            del self._entries[pc]
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,155 @@
+"""The binary-translation algorithm (Section 4.2).
+
+Translation starts at the first instruction after a branch (a dynamic
+basic block start) and walks forward, placing each instruction into the
+array through the :class:`~repro.cgra.allocation.Allocator`.  It stops at
+an unsupported instruction or when the array saturates, covering a prefix
+of the block.
+
+With speculation enabled, a fully-covered block whose terminating branch
+has a *saturated* bimodal counter is merged with its predicted successor:
+the branch comparison itself is placed in the array and translation
+continues into the next block, up to ``max_spec_depth`` conditional
+levels; unconditional ``j`` terminators are followed for free (they
+cannot mis-speculate).  Extension across a branch is all-or-nothing with
+respect to array resources: if the speculated block's body does not fit,
+the whole extension is rolled back — cramming a partial speculated block
+into leftover rows would forfeit that block's own (larger) standalone
+configuration.  An extension that stops at an *unsupported* instruction
+is kept, since the standalone configuration could not have covered more
+either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cgra.allocation import Allocator
+from repro.cgra.configuration import ConfigBlock, Configuration
+from repro.cgra.dataflow import dim_supported
+from repro.cgra.shape import ArrayShape
+from repro.dim.params import DimParams
+from repro.dim.predictor import BimodalPredictor
+from repro.isa.opcodes import InstrClass
+from repro.sim.trace import BasicBlock
+
+#: successor lookup: start PC -> block, or None when not yet discovered.
+BlockProvider = Callable[[int], Optional[BasicBlock]]
+
+
+def _body(block: BasicBlock):
+    if block.terminator is None:
+        return block.instructions
+    return block.instructions[:-1]
+
+
+def _place_body(alloc: Allocator, block: BasicBlock) -> Tuple[int, str]:
+    """Place a block body; returns (covered, stop_reason).
+
+    ``stop_reason`` is 'full' (everything placed), 'unsupported' (an
+    instruction DIM cannot translate) or 'resources' (the array is out
+    of lines/units/immediates).
+    """
+    covered = 0
+    for instr in _body(block):
+        if not dim_supported(instr):
+            return covered, "unsupported"
+        if not alloc.place(instr):
+            return covered, "resources"
+        covered += 1
+    return covered, "full"
+
+
+class Translator:
+    """Builds array configurations from basic-block trees."""
+
+    def __init__(self, shape: ArrayShape, params: DimParams,
+                 predictor: BimodalPredictor,
+                 block_provider: BlockProvider):
+        self.shape = shape
+        self.params = params
+        self.predictor = predictor
+        self.block_provider = block_provider
+
+    def translate(self, first_block: BasicBlock) -> Optional[Configuration]:
+        """Translate the tree rooted at ``first_block``.
+
+        Returns None when fewer than ``min_block_instructions`` would be
+        covered (the paper does not cache configurations of three or
+        fewer instructions).
+        """
+        params = self.params
+        alloc = Allocator(self.shape)
+        cfg_blocks: List[ConfigBlock] = []
+        spec_depth = 0
+        extendable = False  # True when a later attempt may merge deeper
+
+        block = first_block
+        covered, reason = _place_body(alloc, block)
+        # Everything after the first block is speculative: its live-outs
+        # are gated on branch resolution (see AllocationResult).
+        alloc.mark_nonspec_boundary()
+
+        while True:
+            if reason != "full":
+                cfg_blocks.append(ConfigBlock(block, covered, False))
+                break
+            term = block.terminator
+            if term is None or term.mnemonic in ("jr", "jalr", "jal"):
+                # syscall / indirect / call boundaries are never merged
+                cfg_blocks.append(ConfigBlock(block, covered, False))
+                break
+            if not params.speculation \
+                    or len(cfg_blocks) + 1 >= params.max_blocks:
+                cfg_blocks.append(ConfigBlock(block, covered, False))
+                break
+
+            is_branch = term.klass is InstrClass.BRANCH
+            if is_branch:
+                if spec_depth >= params.max_spec_depth:
+                    cfg_blocks.append(ConfigBlock(block, covered, False))
+                    break
+                direction = self.predictor.saturated_direction(
+                    block.branch_pc)
+                if direction is None:
+                    # not biased enough yet; retry on a later execution
+                    cfg_blocks.append(ConfigBlock(block, covered, False))
+                    extendable = True
+                    break
+                next_pc = block.taken_target() if direction \
+                    else block.fallthrough_pc
+            else:  # unconditional j
+                direction = True
+                next_pc = block.taken_target()
+
+            next_block = self.block_provider(next_pc)
+            if next_block is None:
+                cfg_blocks.append(ConfigBlock(block, covered, False))
+                extendable = True
+                break
+
+            snapshot = alloc.snapshot()
+            placed_term = not is_branch or alloc.place(term)
+            if placed_term:
+                next_covered, next_reason = _place_body(alloc, next_block)
+            if not placed_term or next_reason == "resources":
+                # all-or-nothing: give the successor its standalone config
+                alloc.restore(snapshot)
+                cfg_blocks.append(ConfigBlock(block, covered, False))
+                break
+            cfg_blocks.append(ConfigBlock(block, covered, True, direction))
+            if is_branch:
+                spec_depth += 1
+            block = next_block
+            covered, reason = next_covered, next_reason
+
+        config = Configuration(
+            start_pc=first_block.start_pc,
+            blocks=cfg_blocks,
+            result=alloc.finish(),
+            shape=self.shape,
+            extendable=extendable and params.speculation,
+        )
+        if config.covered_instructions < params.min_block_instructions:
+            return None
+        return config

@@ -1,0 +1,35 @@
+"""MIPS I instruction-set definitions shared by the whole system.
+
+This subpackage is the single source of truth for:
+
+- register names/numbers (:mod:`repro.isa.registers`),
+- opcode/funct encodings and per-instruction metadata
+  (:mod:`repro.isa.opcodes`),
+- the :class:`repro.isa.instruction.Instruction` value type with binary
+  encode/decode,
+- pure functional semantics (:mod:`repro.isa.semantics`) reused by both
+  the MIPS pipeline model and the reconfigurable-array executor, which is
+  what guarantees that accelerated execution is bit-identical to native
+  execution.
+"""
+
+from repro.isa.registers import (
+    REGISTER_NAMES,
+    register_name,
+    register_number,
+)
+from repro.isa.opcodes import InstrClass, OpInfo, OPCODES, lookup
+from repro.isa.instruction import Instruction, decode, encode
+
+__all__ = [
+    "REGISTER_NAMES",
+    "register_name",
+    "register_number",
+    "InstrClass",
+    "OpInfo",
+    "OPCODES",
+    "lookup",
+    "Instruction",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,47 @@
+"""MIPS register-file naming conventions (o32)."""
+
+from __future__ import annotations
+
+#: Canonical architectural names for the 32 general-purpose registers.
+REGISTER_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_NUMBER = {name: i for i, name in enumerate(REGISTER_NAMES)}
+# Numeric aliases ($0 .. $31) and the $s8 alias for $fp.
+_NAME_TO_NUMBER.update({str(i): i for i in range(32)})
+_NAME_TO_NUMBER["s8"] = 30
+
+#: Registers that a well-formed program may treat as always zero.
+ZERO = 0
+AT = 1
+V0 = 2
+V1 = 3
+A0 = 4
+A1 = 5
+A2 = 6
+A3 = 7
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+
+def register_number(name: str) -> int:
+    """Map a register name (with or without a leading ``$``) to its number.
+
+    Accepts symbolic names (``"t0"``, ``"$sp"``), numeric names (``"$8"``)
+    and the ``s8`` alias for ``fp``.  Raises :class:`KeyError` for unknown
+    names.
+    """
+    if name.startswith("$"):
+        name = name[1:]
+    return _NAME_TO_NUMBER[name.lower()]
+
+
+def register_name(number: int) -> str:
+    """Map a register number (0..31) to its canonical symbolic name."""
+    return REGISTER_NAMES[number]

@@ -1,0 +1,123 @@
+"""Pure functional semantics of the implemented MIPS I subset.
+
+Both the pipeline model (:mod:`repro.sim.cpu`) and the reconfigurable-array
+executor (:mod:`repro.system.coupled`) evaluate instructions through these
+functions, so accelerated execution is bit-identical to native execution by
+construction.  All register values are canonical unsigned 32-bit ints.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.instruction import Instruction
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value: int) -> int:
+    """Interpret a canonical u32 as a signed 32-bit integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Canonicalise any Python int to u32 (two's complement wrap)."""
+    return value & MASK32
+
+
+def alu_result(instr: Instruction, a: int, b: int) -> int:
+    """Result of an ALU or shift instruction.
+
+    ``a`` is the rs value and ``b`` the rt value (for R-format) or the
+    already-extended immediate (for I-format); both u32-canonical except
+    that sign-extended immediates arrive as signed ints and are wrapped
+    here.  Overflow-trapping variants (``add``/``addi``/``sub``) are
+    computed modulo 2^32 like their unsigned twins: the workloads never
+    rely on the trap, and the paper's array has no trap path either.
+    """
+    m = instr.mnemonic
+    if m in ("add", "addu", "addi", "addiu"):
+        return (a + b) & MASK32
+    if m in ("sub", "subu"):
+        return (a - b) & MASK32
+    if m in ("and", "andi"):
+        return a & b & MASK32
+    if m in ("or", "ori"):
+        return (a | b) & MASK32
+    if m in ("xor", "xori"):
+        return (a ^ b) & MASK32
+    if m == "nor":
+        return ~(a | b) & MASK32
+    if m in ("slt", "slti"):
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if m in ("sltu", "sltiu"):
+        return 1 if to_unsigned(a) < to_unsigned(b) else 0
+    if m == "lui":
+        return (b << 16) & MASK32
+    if m == "sll":
+        return (b << instr.shamt) & MASK32
+    if m == "srl":
+        return (to_unsigned(b) >> instr.shamt) & MASK32
+    if m == "sra":
+        return (to_signed(b) >> instr.shamt) & MASK32
+    if m == "sllv":
+        return (b << (a & 0x1F)) & MASK32
+    if m == "srlv":
+        return (to_unsigned(b) >> (a & 0x1F)) & MASK32
+    if m == "srav":
+        return (to_signed(b) >> (a & 0x1F)) & MASK32
+    raise ValueError(f"not an ALU/shift instruction: {m}")
+
+
+def mult_result(mnemonic: str, a: int, b: int) -> Tuple[int, int]:
+    """(hi, lo) of ``mult``/``multu``."""
+    if mnemonic == "mult":
+        product = to_signed(a) * to_signed(b)
+    elif mnemonic == "multu":
+        product = to_unsigned(a) * to_unsigned(b)
+    else:
+        raise ValueError(f"not a multiply: {mnemonic}")
+    product &= 0xFFFFFFFFFFFFFFFF
+    return (product >> 32) & MASK32, product & MASK32
+
+
+def div_result(mnemonic: str, a: int, b: int) -> Tuple[int, int]:
+    """(hi, lo) = (remainder, quotient) of ``div``/``divu``.
+
+    Division by zero leaves (hi, lo) architecturally undefined on MIPS; we
+    define it as (a, 0) so simulation stays deterministic.
+    """
+    if mnemonic == "div":
+        sa, sb = to_signed(a), to_signed(b)
+        if sb == 0:
+            return to_unsigned(sa), 0
+        # MIPS divides with truncation toward zero (C semantics).
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        remainder = sa - quotient * sb
+        return to_unsigned(remainder), to_unsigned(quotient)
+    if mnemonic == "divu":
+        ua, ub = to_unsigned(a), to_unsigned(b)
+        if ub == 0:
+            return ua, 0
+        return ua % ub, ua // ub
+    raise ValueError(f"not a divide: {mnemonic}")
+
+
+def branch_taken(mnemonic: str, a: int, b: int = 0) -> bool:
+    """Outcome of a conditional branch given rs (``a``) and rt (``b``)."""
+    if mnemonic == "beq":
+        return to_unsigned(a) == to_unsigned(b)
+    if mnemonic == "bne":
+        return to_unsigned(a) != to_unsigned(b)
+    if mnemonic == "blez":
+        return to_signed(a) <= 0
+    if mnemonic == "bgtz":
+        return to_signed(a) > 0
+    if mnemonic == "bltz":
+        return to_signed(a) < 0
+    if mnemonic == "bgez":
+        return to_signed(a) >= 0
+    raise ValueError(f"not a branch: {mnemonic}")

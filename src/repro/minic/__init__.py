@@ -1,0 +1,37 @@
+"""mini-C: a small C-subset compiler targeting the MIPS I subset.
+
+The language supports 32-bit ``int`` / ``unsigned`` scalars, ``char`` /
+``int`` / ``unsigned`` arrays (global and local), functions with up to four
+parameters (arrays pass by reference), the full C expression grammar over
+those types (including short-circuit ``&&``/``||``, compound assignment and
+``++``/``--`` statements), and ``if`` / ``while`` / ``for`` / ``do`` /
+``break`` / ``continue`` / ``return`` control flow.  Built-ins
+``print_int``, ``print_char``, ``print_str`` and ``exit`` map to syscalls.
+
+The compiler is a classic four-stage pipeline: lexer → recursive-descent
+parser → semantic analysis → single-pass code generator emitting assembly
+for :mod:`repro.asm`.  All 18 workloads in :mod:`repro.workloads` are
+written in this language.
+"""
+
+from repro.minic.lexer import tokenize, Token, LexerError
+from repro.minic.parser import parse, ParseError
+from repro.minic.sema import analyze, SemaError
+from repro.minic.driver import (
+    compile_source,
+    compile_to_program,
+    CompileError,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexerError",
+    "parse",
+    "ParseError",
+    "analyze",
+    "SemaError",
+    "compile_source",
+    "compile_to_program",
+    "CompileError",
+]

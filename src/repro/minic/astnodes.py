@@ -1,0 +1,205 @@
+"""mini-C abstract syntax tree.
+
+Types are deliberately tiny: every scalar is a 32-bit ``int`` or
+``unsigned``; ``char`` exists only as an array element type (a ``char``
+scalar is promoted to ``int``).  Array names decay to addresses, so the
+only value type flowing through expressions is a 32-bit word plus a
+signedness flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass(frozen=True)
+class Type:
+    """A mini-C type: ``base`` in {'int', 'unsigned', 'char', 'void'},
+    with an optional array dimension (None = scalar, 0 = unsized param)."""
+
+    base: str
+    array: Optional[int] = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array is not None
+
+    @property
+    def element_size(self) -> int:
+        return 1 if self.base == "char" else 4
+
+    @property
+    def is_unsigned(self) -> bool:
+        # char data is unsigned bytes, matching lbu/sb access.
+        return self.base in ("unsigned", "char")
+
+
+INT = Type("int")
+UNSIGNED = Type("unsigned")
+VOID = Type("void")
+
+
+# --- expressions ---------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+    #: filled by sema: True when the value is unsigned.
+    unsigned: bool = field(default=False, compare=False)
+
+
+@dataclass
+class NumExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrExpr(Expr):
+    """A string literal (only valid as a print_str argument)."""
+    text: str = ""
+
+
+@dataclass
+class VarExpr(Expr):
+    name: str = ""
+    #: filled by sema: the resolved symbol.
+    symbol: object = field(default=None, compare=False)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+    #: filled by sema: element size in bytes and load signedness.
+    elem_size: int = field(default=4, compare=False)
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# --- statements ----------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type: Type = INT
+    name: str = ""
+    init: Optional[Expr] = None
+    symbol: object = field(default=None, compare=False)
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``target op= value`` where target is VarExpr or IndexExpr and op is
+    '' for plain assignment."""
+
+    target: Optional[Expr] = None
+    op: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+    #: True for do { } while(cond);
+    is_do: bool = False
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+# --- top level -------------------------------------------------------------
+
+#: initializer for a global: scalar constant, int list, or string.
+GlobalInit = Union[None, int, List[int], str]
+
+
+@dataclass
+class GlobalDecl:
+    type: Type
+    name: str
+    init: GlobalInit = None
+    line: int = 0
+
+
+@dataclass
+class Param:
+    type: Type
+    name: str
+
+
+@dataclass
+class FuncDef:
+    return_type: Type
+    name: str
+    params: List[Param] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Unit:
+    """One translation unit."""
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[FuncDef]:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        return None

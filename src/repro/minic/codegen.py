@@ -1,0 +1,605 @@
+"""mini-C code generator: AST → MIPS assembly text.
+
+Strategy
+--------
+Expressions evaluate into a stack of temporary registers ``$t0..$t7``
+(``$t8`` is an address scratch, ``$at`` belongs to the assembler).  Locals
+and parameter home slots live in a fixed stack frame addressed off ``$sp``;
+parameters are stored to their home slots in the prologue so recursion
+works uniformly.  Conditions compile to direct conditional branches with
+short-circuit evaluation, and small constants fold into immediate
+instruction forms — both keep the emitted code close to what a simple C
+compiler would produce, which is what DIM sees in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.minic.astnodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDef,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    ReturnStmt,
+    Stmt,
+    StrExpr,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from repro.minic.sema import BUILTINS, FuncInfo, SemaInfo, Symbol
+
+_TEMPS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7"]
+_SCRATCH = "$t8"
+_ARGS = ["$a0", "$a1", "$a2", "$a3"]
+
+#: extra frame bytes reserved for saving live temporaries across calls.
+_TEMP_SAVE_BYTES = 4 * len(_TEMPS)
+
+_SYSCALL_CODES = {"print_int": 1, "print_str": 4, "print_char": 11,
+                  "exit": 17}
+
+
+class CodegenError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, text: str) -> None:
+        self.lines.append("        " + text)
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def comment(self, text: str) -> None:
+        self.lines.append(f"        # {text}")
+
+
+class CodeGenerator:
+    """Generates one assembly module from an analyzed unit."""
+
+    def __init__(self, sema: SemaInfo):
+        self.sema = sema
+        self.out = _Emitter()
+        self._label_counter = 0
+        self._strings: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        self.out.lines.append(".text")
+        self.out.label("__start")
+        self.out.emit("jal f_main")
+        self.out.emit("move $a0, $v0")
+        self.out.emit("li $v0, 17")
+        self.out.emit("syscall")
+        for func in self.sema.unit.functions:
+            _FunctionCodegen(self, self.sema.functions[func.name]).run()
+        self._emit_data()
+        return "\n".join(self.out.lines) + "\n"
+
+    def new_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"L{stem}_{self._label_counter}"
+
+    def string_label(self, text: str) -> str:
+        label = self._strings.get(text)
+        if label is None:
+            label = f"str_{len(self._strings)}"
+            self._strings[text] = label
+        return label
+
+    def _emit_data(self) -> None:
+        out = self.out
+        out.lines.append(".data")
+        for decl in self.sema.unit.globals:
+            symbol = self.sema.globals[decl.name]
+            out.lines.append(".align 2")
+            out.label(symbol.label)
+            self._emit_global_payload(decl)
+        for text, label in self._strings.items():
+            out.label(label)
+            escaped = (text.replace("\\", "\\\\").replace('"', '\\"')
+                       .replace("\n", "\\n").replace("\t", "\\t"))
+            out.emit(f'.asciiz "{escaped}"')
+
+    def _emit_global_payload(self, decl: GlobalDecl) -> None:
+        out = self.out
+        dtype = decl.type
+        if not dtype.is_array:
+            value = decl.init if isinstance(decl.init, int) else 0
+            out.emit(f".word {value & 0xFFFFFFFF}")
+            return
+        count = dtype.array or 0
+        directive = ".byte" if dtype.element_size == 1 else ".word"
+        if isinstance(decl.init, str):
+            payload = [ord(c) & 0xFF for c in decl.init] + [0]
+        elif isinstance(decl.init, list):
+            payload = [v & (0xFF if dtype.element_size == 1 else 0xFFFFFFFF)
+                       for v in decl.init]
+        else:
+            out.emit(f".space {count * dtype.element_size}")
+            return
+        tail = count - len(payload)
+        # emit in bounded chunks to keep assembly lines readable
+        for start in range(0, len(payload), 16):
+            chunk = payload[start:start + 16]
+            out.emit(f"{directive} " + ", ".join(str(v) for v in chunk))
+        if tail > 0:
+            out.emit(f".space {tail * dtype.element_size}")
+
+
+class _FunctionCodegen:
+    def __init__(self, module: CodeGenerator, info: FuncInfo):
+        self.module = module
+        self.out = module.out
+        self.info = info
+        self.func = info.func
+        self.depth = 0  # live temporaries
+        self.frame = info.frame_size + _TEMP_SAVE_BYTES
+        self.return_label = f"Lret_{self.func.name}"
+        self._break_labels: List[str] = []
+        self._continue_labels: List[str] = []
+
+    # -- temp register stack ----------------------------------------------
+    def push(self, line: int = 0) -> str:
+        if self.depth >= len(_TEMPS):
+            raise CodegenError("expression too complex (temporaries "
+                               "exhausted)", line)
+        reg = _TEMPS[self.depth]
+        self.depth += 1
+        return reg
+
+    def pop(self) -> str:
+        self.depth -= 1
+        return _TEMPS[self.depth]
+
+    # -- function shell -----------------------------------------------------
+    def run(self) -> None:
+        out = self.out
+        out.lines.append("")
+        out.comment(f"function {self.func.name}")
+        out.label(f"f_{self.func.name}")
+        out.emit(f"addiu $sp, $sp, -{self.frame}")
+        out.emit("sw $ra, 0($sp)")
+        for i, param in enumerate(self.func.params):
+            symbol = self.info.symbols[param.name]
+            out.emit(f"sw {_ARGS[i]}, {symbol.offset}($sp)")
+        for stmt in self.func.body:
+            self.stmt(stmt)
+        out.label(self.return_label)
+        out.emit("lw $ra, 0($sp)")
+        out.emit(f"addiu $sp, $sp, {self.frame}")
+        out.emit("jr $ra")
+
+    # -- statements -----------------------------------------------------------
+    def stmt(self, stmt: Stmt) -> None:  # noqa: C901 - case split
+        out = self.out
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                reg = self.eval(stmt.init)
+                out.emit(f"sw {reg}, {stmt.symbol.offset}($sp)")
+                self.pop()
+        elif isinstance(stmt, AssignStmt):
+            self._assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self.eval(stmt.expr)
+            self.pop()
+        elif isinstance(stmt, IfStmt):
+            else_label = self.module.new_label("else")
+            end_label = self.module.new_label("endif")
+            self.branch_false(stmt.cond, else_label)
+            for inner in stmt.then_body:
+                self.stmt(inner)
+            if stmt.else_body:
+                out.emit(f"j {end_label}")
+            out.label(else_label)
+            for inner in stmt.else_body:
+                self.stmt(inner)
+            if stmt.else_body:
+                out.label(end_label)
+        elif isinstance(stmt, WhileStmt):
+            self._while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._for(stmt)
+        elif isinstance(stmt, BreakStmt):
+            out.emit(f"j {self._break_labels[-1]}")
+        elif isinstance(stmt, ContinueStmt):
+            out.emit(f"j {self._continue_labels[-1]}")
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                reg = self.eval(stmt.value)
+                out.emit(f"move $v0, {reg}")
+                self.pop()
+            out.emit(f"j {self.return_label}")
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown statement {type(stmt).__name__}")
+
+    def _while(self, stmt: WhileStmt) -> None:
+        """Loops emit in rotated (bottom-tested) form, like an optimising
+        compiler: a guard branch skips the loop, then each iteration is a
+        single fall-through block ending in the backward branch."""
+        out = self.out
+        top = self.module.new_label("loop")
+        cont = self.module.new_label("loopcont")
+        end = self.module.new_label("endloop")
+        self._break_labels.append(end)
+        self._continue_labels.append(cont)
+        if not stmt.is_do:
+            self.branch_false(stmt.cond, end)
+        out.label(top)
+        for inner in stmt.body:
+            self.stmt(inner)
+        out.label(cont)
+        self.branch_true(stmt.cond, top)
+        out.label(end)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+
+    def _for(self, stmt: ForStmt) -> None:
+        """Rotated form: guard, body, step, bottom test."""
+        out = self.out
+        top = self.module.new_label("for")
+        step_label = self.module.new_label("forstep")
+        end = self.module.new_label("endfor")
+        if stmt.init is not None:
+            self.stmt(stmt.init)
+        self._break_labels.append(end)
+        self._continue_labels.append(step_label)
+        if stmt.cond is not None:
+            self.branch_false(stmt.cond, end)
+        out.label(top)
+        for inner in stmt.body:
+            self.stmt(inner)
+        out.label(step_label)
+        if stmt.step is not None:
+            self.stmt(stmt.step)
+        if stmt.cond is not None:
+            self.branch_true(stmt.cond, top)
+        else:
+            out.emit(f"j {top}")
+        out.label(end)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+
+    # -- assignment -------------------------------------------------------------
+    def _assign(self, stmt: AssignStmt) -> None:
+        out = self.out
+        target = stmt.target
+        if isinstance(target, VarExpr):
+            symbol: Symbol = target.symbol
+            if stmt.op:
+                current = self._load_var(target)
+                value = self.eval(stmt.value)
+                self._binary_op(stmt.op, current, value,
+                                stmt.value, target.unsigned
+                                or stmt.value.unsigned, stmt.line)
+                self.pop()  # value consumed
+                result = current
+            else:
+                result = self.eval(stmt.value)
+            if symbol.kind == "global":
+                out.emit(f"la {_SCRATCH}, {symbol.label}")
+                out.emit(f"sw {result}, 0({_SCRATCH})")
+            else:
+                out.emit(f"sw {result}, {symbol.offset}($sp)")
+            self.pop()
+            return
+        assert isinstance(target, IndexExpr)
+        addr = self._index_address(target)
+        load_op, store_op = ("lbu", "sb") if target.elem_size == 1 \
+            else ("lw", "sw")
+        if stmt.op:
+            current = self.push(stmt.line)
+            out.emit(f"{load_op} {current}, 0({addr})")
+            value = self.eval(stmt.value)
+            self._binary_op(stmt.op, current, value, stmt.value,
+                            target.unsigned or stmt.value.unsigned,
+                            stmt.line)
+            self.pop()
+            result = current
+        else:
+            result = self.eval(stmt.value)
+        out.emit(f"{store_op} {result}, 0({addr})")
+        self.pop()  # result
+        self.pop()  # addr
+
+    def _load_var(self, expr: VarExpr) -> str:
+        """Load a scalar variable into a fresh temp."""
+        out = self.out
+        symbol: Symbol = expr.symbol
+        reg = self.push(expr.line)
+        if symbol.kind == "global":
+            out.emit(f"la {_SCRATCH}, {symbol.label}")
+            out.emit(f"lw {reg}, 0({_SCRATCH})")
+        else:
+            out.emit(f"lw {reg}, {symbol.offset}($sp)")
+        return reg
+
+    def _index_address(self, expr: IndexExpr) -> str:
+        """Push a temp holding the byte address of ``base[index]``."""
+        out = self.out
+        base: VarExpr = expr.base
+        symbol: Symbol = base.symbol
+        # Evaluate the index, scale it, then add the base address.
+        if isinstance(expr.index, NumExpr):
+            reg = self.push(expr.line)
+            offset = expr.index.value * expr.elem_size
+            self._emit_base_address(symbol, reg)
+            if offset:
+                out.emit(f"addiu {reg}, {reg}, {offset}"
+                         if -32768 <= offset <= 32767 else
+                         f"addu {reg}, {reg}, {self._li_scratch(offset)}")
+            return reg
+        reg = self.eval(expr.index)
+        if expr.elem_size == 4:
+            out.emit(f"sll {reg}, {reg}, 2")
+        self._emit_base_address(symbol, _SCRATCH)
+        out.emit(f"addu {reg}, {reg}, {_SCRATCH}")
+        return reg
+
+    def _li_scratch(self, value: int) -> str:
+        self.out.emit(f"li {_SCRATCH}, {value}")
+        return _SCRATCH
+
+    def _emit_base_address(self, symbol: Symbol, reg: str) -> None:
+        out = self.out
+        if symbol.kind == "global":
+            out.emit(f"la {reg}, {symbol.label}")
+        elif symbol.type.is_array and symbol.kind == "local":
+            out.emit(f"addiu {reg}, $sp, {symbol.offset}")
+        else:  # array parameter: the address lives in the home slot
+            out.emit(f"lw {reg}, {symbol.offset}($sp)")
+
+    # -- conditions ----------------------------------------------------------
+    def branch_false(self, cond: Expr, label: str) -> None:
+        """Branch to ``label`` when ``cond`` evaluates to zero."""
+        self._branch(cond, label, when_true=False)
+
+    def branch_true(self, cond: Expr, label: str) -> None:
+        self._branch(cond, label, when_true=True)
+
+    def _branch(self, cond: Expr, label: str,
+                when_true: bool) -> None:  # noqa: C901
+        out = self.out
+        if isinstance(cond, UnaryExpr) and cond.op == "!":
+            self._branch(cond.operand, label, not when_true)
+            return
+        if isinstance(cond, BinaryExpr) and cond.op in ("&&", "||"):
+            is_and = cond.op == "&&"
+            if when_true == is_and:
+                # all/none-style: short-circuit through a skip label
+                skip = self.module.new_label("sc")
+                self._branch(cond.left, skip, not when_true)
+                self._branch(cond.right, label, when_true)
+                out.label(skip)
+            else:
+                self._branch(cond.left, label, when_true)
+                self._branch(cond.right, label, when_true)
+            return
+        if isinstance(cond, BinaryExpr) and cond.op in ("==", "!="):
+            left = self.eval(cond.left)
+            right = self.eval(cond.right)
+            wants_equal = (cond.op == "==") == when_true
+            op = "beq" if wants_equal else "bne"
+            out.emit(f"{op} {left}, {right}, {label}")
+            self.pop()
+            self.pop()
+            return
+        if isinstance(cond, BinaryExpr) and cond.op in ("<", "<=", ">",
+                                                        ">="):
+            self._branch_relational(cond, label, when_true)
+            return
+        reg = self.eval(cond)
+        op = "bne" if when_true else "beq"
+        out.emit(f"{op} {reg}, $zero, {label}")
+        self.pop()
+
+    def _branch_relational(self, cond: BinaryExpr, label: str,
+                           when_true: bool) -> None:
+        out = self.out
+        op = cond.op
+        # Normalise > and >= by swapping operands.
+        left_expr, right_expr = cond.left, cond.right
+        if op == ">":
+            op, left_expr, right_expr = "<", right_expr, left_expr
+        elif op == ">=":
+            op, left_expr, right_expr = "<=", right_expr, left_expr
+        unsigned = cond.unsigned
+        # a <= b  <=>  !(b < a)
+        if op == "<=":
+            left_expr, right_expr = right_expr, left_expr
+            when_true = not when_true
+        left = self.eval(left_expr)
+        right = self.eval(right_expr)
+        slt = "sltu" if unsigned else "slt"
+        out.emit(f"{slt} {_SCRATCH}, {left}, {right}")
+        branch = "bne" if when_true else "beq"
+        out.emit(f"{branch} {_SCRATCH}, $zero, {label}")
+        self.pop()
+        self.pop()
+
+    # -- expressions -------------------------------------------------------------
+    def eval(self, expr: Expr) -> str:  # noqa: C901 - case split
+        """Evaluate ``expr`` into a freshly pushed temp; returns the reg."""
+        out = self.out
+        if isinstance(expr, NumExpr):
+            reg = self.push(expr.line)
+            out.emit(f"li {reg}, {expr.value}")
+            return reg
+        if isinstance(expr, VarExpr):
+            symbol: Symbol = expr.symbol
+            if symbol.is_array:
+                reg = self.push(expr.line)
+                self._emit_base_address(symbol, reg)
+                return reg
+            return self._load_var(expr)
+        if isinstance(expr, IndexExpr):
+            addr = self._index_address(expr)
+            load_op = "lbu" if expr.elem_size == 1 else "lw"
+            out.emit(f"{load_op} {addr}, 0({addr})")
+            return addr
+        if isinstance(expr, UnaryExpr):
+            reg = self.eval(expr.operand)
+            if expr.op == "-":
+                out.emit(f"subu {reg}, $zero, {reg}")
+            elif expr.op == "~":
+                out.emit(f"nor {reg}, {reg}, $zero")
+            else:  # '!'
+                out.emit(f"sltiu {reg}, {reg}, 1")
+            return reg
+        if isinstance(expr, BinaryExpr):
+            return self._binary(expr)
+        if isinstance(expr, CallExpr):
+            return self._call(expr)
+        raise CodegenError(f"cannot evaluate {type(expr).__name__}",
+                           expr.line)
+
+    def _binary(self, expr: BinaryExpr) -> str:
+        out = self.out
+        op = expr.op
+        if op in ("&&", "||"):
+            reg = self.push(expr.line)
+            false_label = self.module.new_label("bfalse")
+            end_label = self.module.new_label("bend")
+            self.branch_false(expr, false_label)
+            out.emit(f"li {reg}, 1")
+            out.emit(f"j {end_label}")
+            out.label(false_label)
+            out.emit(f"li {reg}, 0")
+            out.label(end_label)
+            return reg
+        left = self.eval(expr.left)
+        # Immediate forms when the right operand is a small constant.
+        if isinstance(expr.right, NumExpr) and \
+                self._emit_immediate(op, left, expr.right.value,
+                                     expr.unsigned):
+            return left
+        right = self.eval(expr.right)
+        self._binary_op(op, left, right, expr.right, expr.unsigned,
+                        expr.line)
+        self.pop()
+        return left
+
+    def _emit_immediate(self, op: str, reg: str, value: int,
+                        unsigned: bool) -> bool:
+        """Try to emit ``reg = reg op value`` in immediate form."""
+        out = self.out
+        if op in ("<<", ">>") and 0 <= value <= 31:
+            if op == "<<":
+                out.emit(f"sll {reg}, {reg}, {value}")
+            else:
+                shift = "srl" if unsigned else "sra"
+                out.emit(f"{shift} {reg}, {reg}, {value}")
+            return True
+        if op == "+" and -32768 <= value <= 32767:
+            out.emit(f"addiu {reg}, {reg}, {value}")
+            return True
+        if op == "-" and -32767 <= value <= 32768:
+            out.emit(f"addiu {reg}, {reg}, {-value}")
+            return True
+        if op in ("&", "|", "^") and 0 <= value <= 0xFFFF:
+            mnemonic = {"&": "andi", "|": "ori", "^": "xori"}[op]
+            out.emit(f"{mnemonic} {reg}, {reg}, {value}")
+            return True
+        if op == "<" and -32768 <= value <= 32767:
+            slti = "sltiu" if unsigned else "slti"
+            out.emit(f"{slti} {reg}, {reg}, {value}")
+            return True
+        return False
+
+    def _binary_op(self, op: str, left: str, right: str,
+                   right_expr: Optional[Expr], unsigned: bool,
+                   line: int) -> None:
+        """Emit ``left = left op right`` (both operands in registers)."""
+        out = self.out
+        simple = {"+": "addu", "-": "subu", "&": "and", "|": "or",
+                  "^": "xor"}
+        if op in simple:
+            out.emit(f"{simple[op]} {left}, {left}, {right}")
+        elif op == "*":
+            out.emit(f"mult {left}, {right}")
+            out.emit(f"mflo {left}")
+        elif op in ("/", "%"):
+            div = "divu" if unsigned else "div"
+            out.emit(f"{div} {left}, {right}")
+            out.emit(f"mflo {left}" if op == "/" else f"mfhi {left}")
+        elif op == "<<":
+            out.emit(f"sllv {left}, {left}, {right}")
+        elif op == ">>":
+            shift = "srlv" if unsigned else "srav"
+            out.emit(f"{shift} {left}, {left}, {right}")
+        elif op in ("<", ">", "<=", ">="):
+            slt = "sltu" if unsigned else "slt"
+            a, b = (left, right) if op in ("<", ">=") else (right, left)
+            out.emit(f"{slt} {left}, {a}, {b}")
+            if op in ("<=", ">="):
+                out.emit(f"xori {left}, {left}, 1")
+        elif op == "==":
+            out.emit(f"xor {left}, {left}, {right}")
+            out.emit(f"sltiu {left}, {left}, 1")
+        elif op == "!=":
+            out.emit(f"xor {left}, {left}, {right}")
+            out.emit(f"sltu {left}, $zero, {left}")
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown operator {op!r}", line)
+
+    # -- calls -------------------------------------------------------------------
+    def _call(self, expr: CallExpr) -> str:
+        out = self.out
+        if expr.name in BUILTINS:
+            return self._builtin(expr)
+        base_depth = self.depth
+        for arg in expr.args:
+            self.eval(arg)
+        # Save temporaries that were live before the arguments.
+        save_base = self.info.frame_size
+        for i in range(base_depth):
+            out.emit(f"sw {_TEMPS[i]}, {save_base + 4 * i}($sp)")
+        for i in range(len(expr.args)):
+            out.emit(f"move {_ARGS[i]}, {_TEMPS[base_depth + i]}")
+        out.emit(f"jal f_{expr.name}")
+        for i in range(base_depth):
+            out.emit(f"lw {_TEMPS[i]}, {save_base + 4 * i}($sp)")
+        self.depth = base_depth
+        reg = self.push(expr.line)
+        out.emit(f"move {reg}, $v0")
+        return reg
+
+    def _builtin(self, expr: CallExpr) -> str:
+        out = self.out
+        arg = expr.args[0]
+        base_depth = self.depth
+        if isinstance(arg, StrExpr):
+            label = self.module.string_label(arg.text)
+            out.emit(f"la $a0, {label}")
+        else:
+            reg = self.eval(arg)
+            out.emit(f"move $a0, {reg}")
+            self.pop()
+        out.emit(f"li $v0, {_SYSCALL_CODES[expr.name]}")
+        out.emit("syscall")
+        assert self.depth == base_depth
+        reg = self.push(expr.line)
+        out.emit(f"move {reg}, $v0")
+        return reg
+
+
+def generate(sema: SemaInfo) -> str:
+    """Generate a complete assembly module from analyzed mini-C."""
+    return CodeGenerator(sema).generate()

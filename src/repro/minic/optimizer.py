@@ -1,0 +1,108 @@
+"""Opt-in peephole optimisation of generated assembly.
+
+The code generator keeps locals in stack slots, so straight-line code is
+full of ``sw``/``lw`` pairs against ``$sp``.  This pass performs
+store-to-load forwarding and copy cleanup within straight-line windows
+(between labels and control transfers):
+
+- ``sw $rX, k($sp)`` followed by ``lw $rY, k($sp)`` (with ``$rX`` still
+  live and no clobbering store in between) becomes ``move $rY, $rX``;
+- a reload of a slot whose value is already in the target register is
+  dropped;
+- ``move $r, $r`` is dropped.
+
+The pass is *off by default*: the paper-facing calibration (and every
+number in EXPERIMENTS.md) is defined against the plain ``-O0``-style
+output.  `benchmarks/bench_compiler_quality.py` uses this pass to show
+that DIM's relative gains are robust to window-local code cleanup
+(cross-iteration redundancy would need real register allocation).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+_STORE_RE = re.compile(r"^\s*sw\s+(\$\w+),\s*(-?\d+)\(\$sp\)\s*$")
+_LOAD_RE = re.compile(r"^\s*lw\s+(\$\w+),\s*(-?\d+)\(\$sp\)\s*$")
+_MOVE_RE = re.compile(r"^\s*move\s+(\$\w+),\s*(\$\w+)\s*$")
+#: first written register of common instruction forms (dest-first ops).
+_DEF_RE = re.compile(
+    r"^\s*(?:addu|subu|addiu|and|andi|or|ori|xor|xori|nor|slt|sltu|slti"
+    r"|sltiu|sll|srl|sra|sllv|srlv|srav|lui|li|la|lw|lh|lhu|lb|lbu|mflo"
+    r"|mfhi|move|seq|sne|neg|negu|not)\s+(\$\w+)")
+#: anything that ends a straight-line window.
+_BARRIER_RE = re.compile(
+    r"^\s*(?:j|jal|jr|jalr|b|beq|bne|blez|bgtz|bltz|bgez|beqz|bnez|blt"
+    r"|bge|bgt|ble|bltu|bgeu|bgtu|bleu|syscall|break)\b")
+
+
+class _Window:
+    """Forwarding state inside one straight-line window."""
+
+    def __init__(self) -> None:
+        #: sp-offset -> register known to hold that slot's value.
+        self.slot_reg: Dict[int, str] = {}
+
+    def invalidate_register(self, reg: str) -> None:
+        for offset in [o for o, r in self.slot_reg.items() if r == reg]:
+            del self.slot_reg[offset]
+
+    def clear(self) -> None:
+        self.slot_reg.clear()
+
+
+def optimize_assembly(text: str) -> str:
+    """Apply the peephole pass to an assembly module."""
+    out: List[str] = []
+    window = _Window()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#") \
+                or stripped.startswith("."):
+            out.append(line)
+            continue
+        if stripped.endswith(":") or _BARRIER_RE.match(stripped):
+            window.clear()
+            out.append(line)
+            continue
+
+        store = _STORE_RE.match(line)
+        if store is not None:
+            reg, offset = store.group(1), int(store.group(2))
+            window.slot_reg[offset] = reg
+            out.append(line)
+            continue
+
+        load = _LOAD_RE.match(line)
+        if load is not None:
+            reg, offset = load.group(1), int(load.group(2))
+            known = window.slot_reg.get(offset)
+            if known == reg:
+                continue  # value already there: drop the reload
+            if known is not None:
+                indent = line[:len(line) - len(line.lstrip())]
+                out.append(f"{indent}move {reg}, {known}")
+                window.invalidate_register(reg)
+                window.slot_reg[offset] = reg
+                continue
+            window.invalidate_register(reg)
+            window.slot_reg[offset] = reg
+            out.append(line)
+            continue
+
+        move = _MOVE_RE.match(line)
+        if move is not None and move.group(1) == move.group(2):
+            continue  # move $r, $r
+
+        # memory writes through other bases may alias any slot
+        if stripped.startswith(("sw", "sh", "sb")):
+            window.clear()
+            out.append(line)
+            continue
+
+        defined = _DEF_RE.match(line)
+        if defined is not None:
+            window.invalidate_register(defined.group(1))
+        out.append(line)
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")

@@ -1,0 +1,336 @@
+"""mini-C semantic analysis: scopes, types, frame layout.
+
+The pass resolves every identifier to a :class:`Symbol`, annotates every
+expression with its signedness (which selects ``slt`` vs ``sltu``,
+``sra`` vs ``srl`` and ``div`` vs ``divu`` in codegen), checks calls
+against function signatures, and computes each function's stack-frame
+layout (saved ``$ra``, parameter home slots, locals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.minic.astnodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDef,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    ReturnStmt,
+    Stmt,
+    StrExpr,
+    Type,
+    Unit,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+
+MAX_REG_ARGS = 4
+
+#: built-in functions: name -> (arg count, returns value)
+BUILTINS = {
+    "print_int": (1, False),
+    "print_char": (1, False),
+    "print_str": (1, False),
+    "exit": (1, False),
+}
+
+
+class SemaError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass
+class Symbol:
+    """A named entity: global variable, parameter, or local."""
+
+    name: str
+    type: Type
+    kind: str  # 'global' | 'param' | 'local'
+    #: assembly label for globals.
+    label: str = ""
+    #: frame offset from $sp (post-prologue) for params/locals.
+    offset: int = 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.type.is_array
+
+
+@dataclass
+class FuncInfo:
+    """Sema results for one function."""
+
+    func: FuncDef
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    frame_size: int = 0
+    returns_value: bool = False
+
+
+@dataclass
+class SemaInfo:
+    """Sema results for a translation unit."""
+
+    unit: Unit
+    globals: Dict[str, Symbol] = field(default_factory=dict)
+    functions: Dict[str, FuncInfo] = field(default_factory=dict)
+
+
+def analyze(unit: Unit) -> SemaInfo:
+    """Run semantic analysis; raises :class:`SemaError` on any violation."""
+    info = SemaInfo(unit)
+    for decl in unit.globals:
+        if decl.name in info.globals:
+            raise SemaError(f"duplicate global {decl.name!r}", decl.line)
+        _check_global(decl)
+        info.globals[decl.name] = Symbol(decl.name, decl.type, "global",
+                                         label=f"g_{decl.name}")
+    signatures: Dict[str, FuncDef] = {}
+    for func in unit.functions:
+        if func.name in signatures or func.name in BUILTINS:
+            raise SemaError(f"duplicate function {func.name!r}", func.line)
+        if func.name in info.globals:
+            raise SemaError(
+                f"function {func.name!r} collides with a global", func.line)
+        signatures[func.name] = func
+    if "main" not in signatures:
+        raise SemaError("no main function")
+    for func in unit.functions:
+        info.functions[func.name] = _analyze_function(func, info, signatures)
+    return info
+
+
+def _check_global(decl: GlobalDecl) -> None:
+    if decl.type.base == "void":
+        raise SemaError(f"global {decl.name!r} cannot be void", decl.line)
+    if decl.type.is_array and isinstance(decl.init, list):
+        if len(decl.init) > decl.type.array:
+            raise SemaError(
+                f"too many initializers for {decl.name!r}", decl.line)
+    if decl.type.base == "char" and not decl.type.is_array:
+        # promote scalar char globals to int
+        decl.type = Type("int")
+
+
+class _FunctionAnalyzer:
+    def __init__(self, func: FuncDef, info: SemaInfo,
+                 signatures: Dict[str, FuncDef]):
+        self.func = func
+        self.info = info
+        self.signatures = signatures
+        self.symbols: Dict[str, Symbol] = {}
+        self.loop_depth = 0
+        self._next_offset = 4  # slot 0 holds the saved $ra
+
+    def run(self) -> FuncInfo:
+        func = self.func
+        if len(func.params) > MAX_REG_ARGS:
+            raise SemaError(
+                f"{func.name!r} has more than {MAX_REG_ARGS} parameters",
+                func.line)
+        for param in func.params:
+            if param.type.is_array and param.type.array != 0:
+                raise SemaError("sized array parameters are not supported",
+                                func.line)
+            symbol = Symbol(param.name, param.type, "param",
+                            offset=self._alloc(4))
+            self._declare(symbol, func.line)
+        for stmt in func.body:
+            self._stmt(stmt)
+        frame = (self._next_offset + 7) & ~7
+        out = FuncInfo(func, self.symbols, frame,
+                       func.return_type.base != "void")
+        return out
+
+    def _alloc(self, size: int) -> int:
+        offset = self._next_offset
+        self._next_offset += (size + 3) & ~3
+        return offset
+
+    def _declare(self, symbol: Symbol, line: int) -> None:
+        if symbol.name in self.symbols:
+            raise SemaError(f"duplicate declaration {symbol.name!r}", line)
+        self.symbols[symbol.name] = symbol
+
+    def _resolve(self, name: str, line: int) -> Symbol:
+        symbol = self.symbols.get(name) or self.info.globals.get(name)
+        if symbol is None:
+            raise SemaError(f"undeclared identifier {name!r}", line)
+        return symbol
+
+    # -- statements ------------------------------------------------------
+    def _stmt(self, stmt: Stmt) -> None:  # noqa: C901 - case split
+        if isinstance(stmt, DeclStmt):
+            if stmt.type.base == "void":
+                raise SemaError("void local", stmt.line)
+            decl_type = stmt.type
+            if decl_type.base == "char" and not decl_type.is_array:
+                decl_type = Type("int")
+                stmt.type = decl_type
+            size = (decl_type.array or 1) * decl_type.element_size \
+                if decl_type.is_array else 4
+            symbol = Symbol(stmt.name, decl_type, "local",
+                            offset=self._alloc(size))
+            self._declare(symbol, stmt.line)
+            stmt.symbol = symbol
+            if stmt.init is not None:
+                if decl_type.is_array:
+                    raise SemaError("local arrays cannot have initializers",
+                                    stmt.line)
+                self._expr(stmt.init)
+        elif isinstance(stmt, AssignStmt):
+            self._lvalue(stmt.target)
+            self._expr(stmt.value)
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, IfStmt):
+            self._expr(stmt.cond)
+            for inner in stmt.then_body:
+                self._stmt(inner)
+            for inner in stmt.else_body:
+                self._stmt(inner)
+        elif isinstance(stmt, WhileStmt):
+            self._expr(stmt.cond)
+            self.loop_depth += 1
+            for inner in stmt.body:
+                self._stmt(inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.cond is not None:
+                self._expr(stmt.cond)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self.loop_depth += 1
+            for inner in stmt.body:
+                self._stmt(inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, (BreakStmt, ContinueStmt)):
+            if self.loop_depth == 0:
+                raise SemaError("break/continue outside loop", stmt.line)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                if self.func.return_type.base == "void":
+                    raise SemaError("void function returns a value",
+                                    stmt.line)
+                self._expr(stmt.value)
+            elif self.func.return_type.base != "void":
+                raise SemaError("non-void function returns nothing",
+                                stmt.line)
+        else:  # pragma: no cover
+            raise SemaError(f"unknown statement {type(stmt).__name__}")
+
+    def _lvalue(self, expr: Expr) -> None:
+        if isinstance(expr, VarExpr):
+            symbol = self._resolve(expr.name, expr.line)
+            if symbol.is_array:
+                raise SemaError(f"cannot assign to array {expr.name!r}",
+                                expr.line)
+            expr.symbol = symbol
+            expr.unsigned = symbol.type.is_unsigned
+        elif isinstance(expr, IndexExpr):
+            self._index(expr)
+        else:
+            raise SemaError("not an lvalue", expr.line)
+
+    # -- expressions -----------------------------------------------------
+    def _expr(self, expr: Expr) -> None:  # noqa: C901 - case split
+        if isinstance(expr, NumExpr):
+            expr.unsigned = expr.value > 0x7FFFFFFF
+        elif isinstance(expr, StrExpr):
+            raise SemaError("string literal outside print_str", expr.line)
+        elif isinstance(expr, VarExpr):
+            symbol = self._resolve(expr.name, expr.line)
+            expr.symbol = symbol
+            # array names decay to (unsigned) addresses
+            expr.unsigned = symbol.is_array or symbol.type.is_unsigned
+        elif isinstance(expr, IndexExpr):
+            self._index(expr)
+        elif isinstance(expr, UnaryExpr):
+            self._expr(expr.operand)
+            expr.unsigned = expr.operand.unsigned and expr.op != "!"
+        elif isinstance(expr, BinaryExpr):
+            self._expr(expr.left)
+            self._expr(expr.right)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                # unsigned flag records the *comparison* signedness; the
+                # 0/1 result itself is a signed int either way.
+                expr.unsigned = expr.left.unsigned or expr.right.unsigned
+            elif expr.op in ("<<", ">>"):
+                expr.unsigned = expr.left.unsigned
+            elif expr.op in ("&&", "||"):
+                expr.unsigned = False
+            else:
+                expr.unsigned = expr.left.unsigned or expr.right.unsigned
+        elif isinstance(expr, CallExpr):
+            self._call(expr)
+        else:  # pragma: no cover
+            raise SemaError(f"unknown expression {type(expr).__name__}")
+
+    def _index(self, expr: IndexExpr) -> None:
+        base = expr.base
+        if not isinstance(base, VarExpr):
+            raise SemaError("only direct array indexing is supported",
+                            expr.line)
+        symbol = self._resolve(base.name, base.line)
+        if not symbol.is_array:
+            raise SemaError(f"{base.name!r} is not an array", base.line)
+        base.symbol = symbol
+        self._expr(expr.index)
+        expr.elem_size = symbol.type.element_size
+        expr.unsigned = symbol.type.is_unsigned
+
+    def _call(self, expr: CallExpr) -> None:
+        if expr.name in BUILTINS:
+            arity, returns = BUILTINS[expr.name]
+            if len(expr.args) != arity:
+                raise SemaError(
+                    f"{expr.name} expects {arity} argument(s)", expr.line)
+            for arg in expr.args:
+                if isinstance(arg, StrExpr):
+                    if expr.name != "print_str":
+                        raise SemaError("string literal outside print_str",
+                                        arg.line)
+                else:
+                    self._expr(arg)
+            expr.unsigned = False
+            return
+        func = self.signatures.get(expr.name)
+        if func is None:
+            raise SemaError(f"call to undeclared function {expr.name!r}",
+                            expr.line)
+        if len(expr.args) != len(func.params):
+            raise SemaError(
+                f"{expr.name} expects {len(func.params)} argument(s), "
+                f"got {len(expr.args)}", expr.line)
+        for arg, param in zip(expr.args, func.params):
+            self._expr(arg)
+            if param.type.is_array:
+                array_ok = (isinstance(arg, VarExpr)
+                            and arg.symbol is not None
+                            and arg.symbol.is_array)
+                if not array_ok:
+                    raise SemaError(
+                        f"argument for array parameter {param.name!r} "
+                        "must be an array name", arg.line)
+        expr.unsigned = func.return_type.is_unsigned
+
+
+def _analyze_function(func: FuncDef, info: SemaInfo,
+                      signatures: Dict[str, FuncDef]) -> FuncInfo:
+    return _FunctionAnalyzer(func, info, signatures).run()

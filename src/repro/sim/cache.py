@@ -1,0 +1,104 @@
+"""Instruction/data cache models.
+
+The paper's memory interface (Section 4.3): load/store units assume a
+cache hit; "if a miss occurs, the whole array operation stops until the
+miss is resolved".  These models provide that behaviour for both the
+plain core and the coupled system.
+
+Caches are *timing-and-energy* models only — data always comes from the
+backing :class:`~repro.sim.memory.Memory`, so enabling them never changes
+architectural results, only cycle counts.  Because miss patterns depend
+on addresses, cache timing is supported by the functional simulators but
+not by the trace-driven evaluator (traces do not carry addresses); the
+benchmark harnesses therefore run their cache studies through the
+coupled simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache."""
+
+    size_bytes: int = 4096
+    line_bytes: int = 16
+    associativity: int = 1
+    miss_penalty: int = 12
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("size must be a multiple of line x ways")
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if sets & (sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class CacheModel:
+    """A set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = config.num_sets - 1
+        # per set: list of tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on a hit."""
+        self.accesses += 1
+        line = address >> self._offset_bits
+        ways = self._sets[line & self._index_mask]
+        tag = line >> (self._index_mask.bit_length())
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+        return False
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+
+@dataclass
+class CacheHierarchy:
+    """Optional instruction and data caches for a simulator.
+
+    ``None`` for either cache means ideal (single-cycle) memory on that
+    path — the default everywhere, matching the paper's headline results.
+    """
+
+    icache: Optional[CacheModel] = None
+    dcache: Optional[CacheModel] = None
+
+    @classmethod
+    def build(cls, icache: Optional[CacheConfig] = None,
+              dcache: Optional[CacheConfig] = None) -> "CacheHierarchy":
+        return cls(
+            icache=CacheModel(icache) if icache else None,
+            dcache=CacheModel(dcache) if dcache else None,
+        )

@@ -1,0 +1,114 @@
+"""Sparse paged memory with little-endian byte order.
+
+Pages are 4 KiB bytearrays allocated on first touch, so the full 32-bit
+address space (text at 0x0040_0000, data at 0x1001_0000, stack just below
+0x8000_0000) is available without preallocating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.asm.program import Program
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryError_(Exception):
+    """Access outside any mapped region in strict mode (unused by default)."""
+
+
+class AlignmentError_(Exception):
+    """Raised on a misaligned half-word or word access."""
+
+
+class Memory:
+    """Byte-addressable sparse memory."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    # -- loads -----------------------------------------------------------
+    def read_byte(self, address: int) -> int:
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def read_half(self, address: int) -> int:
+        if address & 1:
+            raise AlignmentError_(f"lh/lhu at 0x{address:08x}")
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        offset = address & PAGE_MASK
+        return page[offset] | (page[offset + 1] << 8)
+
+    def read_word(self, address: int) -> int:
+        if address & 3:
+            raise AlignmentError_(f"lw at 0x{address:08x}")
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        offset = address & PAGE_MASK
+        return (page[offset] | (page[offset + 1] << 8)
+                | (page[offset + 2] << 16) | (page[offset + 3] << 24))
+
+    # -- stores ----------------------------------------------------------
+    def write_byte(self, address: int, value: int) -> None:
+        self._page(address >> PAGE_SHIFT)[address & PAGE_MASK] = value & 0xFF
+
+    def write_half(self, address: int, value: int) -> None:
+        if address & 1:
+            raise AlignmentError_(f"sh at 0x{address:08x}")
+        page = self._page(address >> PAGE_SHIFT)
+        offset = address & PAGE_MASK
+        page[offset] = value & 0xFF
+        page[offset + 1] = (value >> 8) & 0xFF
+
+    def write_word(self, address: int, value: int) -> None:
+        if address & 3:
+            raise AlignmentError_(f"sw at 0x{address:08x}")
+        page = self._page(address >> PAGE_SHIFT)
+        offset = address & PAGE_MASK
+        page[offset] = value & 0xFF
+        page[offset + 1] = (value >> 8) & 0xFF
+        page[offset + 2] = (value >> 16) & 0xFF
+        page[offset + 3] = (value >> 24) & 0xFF
+
+    # -- bulk ------------------------------------------------------------
+    def write_block(self, address: int, payload: bytes) -> None:
+        for i, byte in enumerate(payload):
+            self.write_byte(address + i, byte)
+
+    def read_block(self, address: int, length: int) -> bytes:
+        return bytes(self.read_byte(address + i) for i in range(length))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> str:
+        chars = []
+        for i in range(limit):
+            byte = self.read_byte(address + i)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+    def load_program(self, program: Program) -> None:
+        self.write_block(program.text_base, program.text)
+        if program.data:
+            self.write_block(program.data_base, program.data)
+
+    def snapshot_pages(self) -> Dict[int, bytes]:
+        """Immutable copy of all touched pages (used by equivalence tests)."""
+        return {index: bytes(page) for index, page in self._pages.items()}

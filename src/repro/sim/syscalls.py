@@ -1,0 +1,55 @@
+"""SPIM-style syscall handling.
+
+Supported services (selected by ``$v0``):
+
+==== ======================= =========================
+code service                 arguments
+==== ======================= =========================
+1    print integer (signed)  ``$a0``
+4    print NUL string        ``$a0`` = address
+10   exit (code 0)           —
+11   print character         ``$a0``
+17   exit with code          ``$a0``
+34   print integer as hex    ``$a0``
+==== ======================= =========================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.semantics import to_signed
+from repro.sim.memory import Memory
+
+
+class SyscallError(Exception):
+    """Raised for an unknown syscall number."""
+
+
+def handle_syscall(regs: List[int], memory: Memory,
+                   output: List[str]) -> Optional[int]:
+    """Service one syscall.
+
+    Returns the exit code when the program requested termination, or
+    None when execution should continue.  ``output`` accumulates printed
+    text.
+    """
+    code = regs[2]  # $v0
+    a0 = regs[4]
+    if code == 1:
+        output.append(str(to_signed(a0)))
+        return None
+    if code == 4:
+        output.append(memory.read_cstring(a0))
+        return None
+    if code == 10:
+        return 0
+    if code == 11:
+        output.append(chr(a0 & 0xFF))
+        return None
+    if code == 17:
+        return a0 & 0xFF
+    if code == 34:
+        output.append(f"0x{a0 & 0xFFFFFFFF:08x}")
+        return None
+    raise SyscallError(f"unsupported syscall {code}")

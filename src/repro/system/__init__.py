@@ -1,0 +1,72 @@
+"""The coupled MIPS + DIM + array system and its evaluation harnesses.
+
+Two execution paths produce identical cycle counts:
+
+- :class:`repro.system.coupled.CoupledSimulator` runs the program
+  functionally with the array in the loop — bit-exact architectural
+  state, used to *validate* the mechanism.
+- :func:`repro.system.traceeval.evaluate_trace` replays a basic-block
+  trace through the same :class:`repro.dim.engine.DimEngine`, without
+  re-executing instructions — used by the benchmark harnesses to sweep
+  the paper's 18 workloads x 18+2 system configurations quickly.
+
+:mod:`repro.system.config` holds Table 1's array shapes,
+:mod:`repro.system.energy` the event-based power/energy model
+(Figures 5/6), and :mod:`repro.system.area` the gate-count and
+configuration-bit model (Table 3).
+"""
+
+from repro.system.config import (
+    PAPER_CACHE_SLOTS,
+    PAPER_SHAPES,
+    SystemConfig,
+    paper_system,
+)
+from repro.system.costmodel import BlockCost, BlockCostModel
+from repro.system.coupled import (
+    CoupledSimulator,
+    CoupledRunResult,
+    run_coupled,
+)
+from repro.system.traceeval import (
+    SystemMetrics,
+    baseline_metrics,
+    evaluate_trace,
+    speedup,
+)
+from repro.system.energy import (
+    EnergyParams,
+    EnergyBreakdown,
+    energy_of,
+    energy_ratio,
+)
+from repro.system.area import (
+    AreaParams,
+    area_report,
+    cache_bytes,
+    config_bits_report,
+)
+
+__all__ = [
+    "PAPER_CACHE_SLOTS",
+    "PAPER_SHAPES",
+    "SystemConfig",
+    "paper_system",
+    "BlockCost",
+    "BlockCostModel",
+    "CoupledSimulator",
+    "CoupledRunResult",
+    "run_coupled",
+    "SystemMetrics",
+    "baseline_metrics",
+    "evaluate_trace",
+    "speedup",
+    "EnergyParams",
+    "EnergyBreakdown",
+    "energy_of",
+    "energy_ratio",
+    "AreaParams",
+    "area_report",
+    "cache_bytes",
+    "config_bits_report",
+]

@@ -1,0 +1,59 @@
+"""The paper's system configurations (Table 1) and a bundling helper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.cgra.shape import ArrayShape, INFINITE_SHAPE
+from repro.dim.params import DimParams
+from repro.sim.stats import TimingModel
+
+#: Table 1 — the three array configurations evaluated in the paper.
+#: "#Columns" is the per-line FU total (8+1+2=11, 8+2+6=16, 12+2+6=20).
+#: Immediate-table capacity scales with the array (two slots per line) so
+#: that lines, not immediates, are the binding resource — the paper never
+#: reports immediate-table saturation.
+PAPER_SHAPES: Dict[str, ArrayShape] = {
+    "C1": ArrayShape(rows=24, alus_per_row=8, mults_per_row=1,
+                     ldsts_per_row=2, immediate_slots=48),
+    "C2": ArrayShape(rows=48, alus_per_row=8, mults_per_row=2,
+                     ldsts_per_row=6, immediate_slots=96),
+    "C3": ArrayShape(rows=150, alus_per_row=12, mults_per_row=2,
+                     ldsts_per_row=6, immediate_slots=300),
+    "ideal": INFINITE_SHAPE,
+}
+
+#: The reconfiguration-cache sizes swept in Table 2.
+PAPER_CACHE_SLOTS = (16, 64, 256)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete system: array shape, DIM policies, core timing."""
+
+    shape: ArrayShape
+    dim: DimParams = field(default_factory=DimParams)
+    timing: TimingModel = field(default_factory=TimingModel)
+    name: str = ""
+
+    def with_dim(self, **kwargs) -> "SystemConfig":
+        return replace(self, dim=replace(self.dim, **kwargs))
+
+
+def paper_system(array: str = "C3", slots: int = 64,
+                 speculation: bool = False) -> SystemConfig:
+    """Build one of the paper's evaluated systems.
+
+    ``array`` is 'C1', 'C2', 'C3' or 'ideal'; ``slots`` is the
+    reconfiguration-cache size (the ideal system gets an effectively
+    unbounded cache, matching the paper's "infinite hardware resources"
+    column).
+    """
+    shape = PAPER_SHAPES[array]
+    if array == "ideal":
+        slots = 1 << 20
+    dim = DimParams(cache_slots=slots, speculation=speculation)
+    spec_tag = "spec" if speculation else "nospec"
+    return SystemConfig(shape, dim, TimingModel(),
+                        name=f"{array}/{slots}/{spec_tag}")

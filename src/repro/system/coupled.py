@@ -1,0 +1,238 @@
+"""Bit-exact co-simulation of the MIPS core with DIM and the array.
+
+The coupled simulator interleaves normal pipeline execution with array
+execution.  Array-covered instructions run through the very same
+:mod:`repro.isa.semantics` functions the core uses, with speculative
+blocks committed only when their guarding branch resolves in the
+predicted direction — so architectural state (registers, memory, program
+output) is provably identical to a plain run, which the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.asm.program import Program
+from repro.cgra.configuration import Configuration
+from repro.dim.engine import DimEngine, DimStats
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass
+from repro.isa.semantics import alu_result, branch_taken, mult_result
+from repro.sim.cpu import Simulator, _load, _store
+from repro.sim.stats import RunStats
+from repro.sim.trace import BasicBlock
+from repro.system.config import SystemConfig
+
+
+@dataclass
+class CoupledRunResult:
+    """Outcome of one coupled simulation."""
+
+    exit_code: int
+    output: str
+    stats: RunStats
+    dim_stats: DimStats
+    registers: List[int]
+    memory: object
+    cache_lookups: int
+    cache_hits: int
+    predictor_accuracy: float
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class CoupledSimulator:
+    """MIPS core + DIM engine + reconfigurable array."""
+
+    def __init__(self, program: Program, config: SystemConfig,
+                 max_instructions: int = 200_000_000,
+                 caches=None):
+        self.config = config
+        self.sim = Simulator(program, timing=config.timing,
+                             collect_trace=False,
+                             max_instructions=max_instructions,
+                             caches=caches)
+        self._seen: Set[int] = set()
+        self.engine = DimEngine(config.shape, config.dim,
+                                self._block_provider)
+
+    def _block_provider(self, pc: int) -> Optional[BasicBlock]:
+        """Successor lookup for the translator.
+
+        Only blocks that have actually executed from their start are
+        visible — the DIM hardware discovers code by watching the retired
+        stream, never by probing instruction memory.
+        """
+        if pc not in self._seen:
+            return None
+        return self.sim.block_at(pc)
+
+    # ------------------------------------------------------------------
+    def run(self) -> CoupledRunResult:
+        sim = self.sim
+        engine = self.engine
+        at_start = True
+        entered_at_start = True
+        block_start = sim.pc
+        while sim.exit_code is None:
+            if at_start:
+                self._seen.add(sim.pc)
+                config = engine.lookup(sim.pc)
+                if config is not None:
+                    config = engine.maybe_extend(config)
+                    at_start, block_start = self._execute_array(config)
+                    entered_at_start = at_start
+                    continue
+                at_start = False
+            outcome = sim.step()
+            if outcome.block_end:
+                block = sim.block_at(block_start)
+                if block.is_conditional:
+                    engine.observe_branch(block.branch_pc, outcome.taken)
+                if entered_at_start and sim.exit_code is None:
+                    engine.consider_translation(block)
+                at_start = True
+                entered_at_start = True
+                block_start = outcome.next_pc
+        cache = engine.cache
+        return CoupledRunResult(
+            exit_code=sim.exit_code,
+            output="".join(sim.output_parts),
+            stats=sim.stats,
+            dim_stats=engine.stats,
+            registers=sim.regs,
+            memory=sim.memory,
+            cache_lookups=cache.lookups,
+            cache_hits=cache.hits,
+            predictor_accuracy=engine.predictor.accuracy,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_array(self, config: Configuration) -> Tuple[bool, int]:
+        """Run one configuration; returns (resumed_at_block_start, pc).
+
+        When the array covers only a prefix of the final block, the core
+        resumes mid-block and the returned flag is False (no cache lookup
+        happens mid-block).
+        """
+        sim = self.sim
+        engine = self.engine
+        stats = sim.stats
+        params = self.config.dim
+        stall = engine.begin_execution(config)
+        stats.cycles += stall + config.exec_cycles
+        committed = 0
+        resume_at_start = True
+        resume_pc = config.start_pc
+        for cfg_block in config.blocks:
+            block = cfg_block.block
+            self._seen.add(block.start_pc)
+            pc = block.start_pc
+            for i in range(cfg_block.covered):
+                self._exec_functional(block.instructions[i], pc)
+                pc += 4
+            committed += cfg_block.covered
+            if not cfg_block.includes_terminator:
+                # final block: the core resumes after the covered prefix
+                resume_pc = block.start_pc + 4 * cfg_block.covered
+                resume_at_start = cfg_block.covered == 0
+                break
+            term = block.terminator
+            committed += 1
+            stats.branches += 1
+            if term.klass is InstrClass.BRANCH:
+                actual = branch_taken(term.mnemonic, sim.regs[term.rs],
+                                      sim.regs[term.rt])
+                if actual:
+                    stats.taken_transfers += 1
+                if not engine.speculation_outcome(config, cfg_block,
+                                                  actual):
+                    stats.cycles += params.misspec_penalty
+                    resume_pc = term.branch_target(block.branch_pc) \
+                        if actual else block.fallthrough_pc
+                    resume_at_start = True
+                    break
+            else:  # unconditional j — always correct
+                stats.taken_transfers += 1
+        else:  # pragma: no cover - blocks always end with a non-terminator
+            pass
+        stats.instructions += committed
+        engine.stats.array_instructions += committed
+        if stats.instructions > sim.max_instructions:
+            raise RuntimeError("instruction budget exceeded in array")
+        sim.pc = resume_pc
+        sim.reset_block_start(resume_pc if resume_at_start
+                              else config.blocks[-1].block.start_pc)
+        if resume_at_start:
+            return True, resume_pc
+        return False, config.blocks[-1].block.start_pc
+
+    def _array_memory_access(self, address: int) -> None:
+        """Charge a data-cache access made by an array LD/ST unit.
+
+        Section 4.3: array operations are scheduled assuming cache hits;
+        "if a miss occurs, the whole array operation stops until the miss
+        is resolved" — so a miss simply adds its penalty to the run.
+        """
+        dcache = self.sim.caches.dcache
+        if dcache is not None and not dcache.access(address):
+            self.sim.stats.dcache_misses += 1
+            self.sim.stats.cycles += dcache.config.miss_penalty
+
+    def _exec_functional(self, instr: Instruction, pc: int) -> None:
+        """Functionally execute one array-covered instruction."""
+        sim = self.sim
+        regs = sim.regs
+        klass = instr.klass
+        if klass is InstrClass.ALU or klass is InstrClass.SHIFT:
+            dest = instr.destination()
+            if dest is not None:
+                b = instr.imm if instr.info.fmt.value == "I" \
+                    else regs[instr.rt]
+                regs[dest] = alu_result(instr, regs[instr.rs], b)
+        elif klass is InstrClass.LOAD:
+            sim.stats.loads += 1
+            address = (regs[instr.rs] + instr.imm) & 0xFFFFFFFF
+            self._array_memory_access(address)
+            value = _load(sim.memory, instr.mnemonic, address)
+            dest = instr.destination()
+            if dest is not None:
+                regs[dest] = value
+        elif klass is InstrClass.STORE:
+            sim.stats.stores += 1
+            address = (regs[instr.rs] + instr.imm) & 0xFFFFFFFF
+            self._array_memory_access(address)
+            _store(sim.memory, instr.mnemonic, address, regs[instr.rt])
+        elif klass is InstrClass.MULT:
+            sim.hi, sim.lo = mult_result(instr.mnemonic, regs[instr.rs],
+                                         regs[instr.rt])
+        elif klass is InstrClass.HILO:
+            mnemonic = instr.mnemonic
+            if mnemonic == "mfhi":
+                dest = instr.destination()
+                if dest is not None:
+                    regs[dest] = sim.hi
+            elif mnemonic == "mflo":
+                dest = instr.destination()
+                if dest is not None:
+                    regs[dest] = sim.lo
+            elif mnemonic == "mthi":
+                sim.hi = regs[instr.rs]
+            else:
+                sim.lo = regs[instr.rs]
+        elif klass is InstrClass.NOP:
+            pass
+        else:  # pragma: no cover - translator never places these
+            raise RuntimeError(f"unsupported array instruction {instr}")
+
+
+def run_coupled(program: Program, config: SystemConfig,
+                max_instructions: int = 200_000_000,
+                caches=None) -> CoupledRunResult:
+    """One-shot convenience wrapper."""
+    return CoupledSimulator(program, config, max_instructions,
+                            caches=caches).run()

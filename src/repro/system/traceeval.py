@@ -1,0 +1,212 @@
+"""Fast trace-driven evaluation of a DIM system.
+
+Replays a basic-block trace (from one plain functional run) through the
+same :class:`~repro.dim.engine.DimEngine` the coupled simulator uses.
+Because block costs are static (see :mod:`repro.system.costmodel`) and
+DIM's state machine depends only on block identities and branch
+outcomes, the replay is cycle-exact with respect to the coupled
+simulator — the test suite asserts this — while being orders of
+magnitude faster, which is what makes the paper's 18-workload x
+18-configuration sweep tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.dim.engine import DimEngine, DimStats
+from repro.isa.opcodes import InstrClass
+from repro.sim.stats import TimingModel
+from repro.sim.trace import BasicBlock, Trace
+from repro.system.config import SystemConfig
+from repro.system.costmodel import BlockCostModel
+
+
+@dataclass
+class SystemMetrics:
+    """Cycle and event totals for one (workload, system) evaluation."""
+
+    name: str = ""
+    cycles: int = 0
+    instructions: int = 0
+    fetches: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_transfers: int = 0
+    load_use_stalls: int = 0
+    hilo_stalls: int = 0
+    syscalls: int = 0
+    dim: Optional[DimStats] = None
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    cache_insertions: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    predictor_accuracy: float = 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def baseline_metrics(trace: Trace,
+                     timing: Optional[TimingModel] = None) -> SystemMetrics:
+    """Cycles and events of the standalone MIPS core over a trace.
+
+    Agrees exactly with :class:`repro.sim.cpu.Simulator` on the same
+    program (asserted by the test suite).
+    """
+    timing = timing or TimingModel()
+    model = BlockCostModel(timing)
+    metrics = SystemMetrics(name="mips")
+    table = trace.table
+    for event in trace.events:
+        block = table.get(event.block_id)
+        _account_normal(metrics, model, block, 0, event.taken)
+    return metrics
+
+
+def _account_normal(metrics: SystemMetrics, model: BlockCostModel,
+                    block: BasicBlock, start_idx: int, taken: bool) -> None:
+    """Accumulate the cost of normally executing block[start_idx:]."""
+    cost = model.cost(block, start_idx)
+    metrics.cycles += cost.cycles(taken)
+    metrics.instructions += cost.instructions
+    metrics.fetches += cost.fetches
+    metrics.loads += cost.loads
+    metrics.stores += cost.stores
+    metrics.branches += cost.branches
+    metrics.load_use_stalls += cost.load_use_stalls
+    metrics.hilo_stalls += cost.hilo_stalls
+    metrics.syscalls += cost.syscalls
+    terminator = block.terminator
+    if terminator is not None:
+        if terminator.klass is InstrClass.JUMP or taken:
+            metrics.taken_transfers += 1
+
+
+#: memoized (loads, stores) of a covered block prefix.
+_PrefixKey = Tuple[int, int]
+
+
+def _prefix_mem_ops(cache: Dict[_PrefixKey, Tuple[int, int]],
+                    block: BasicBlock, covered: int) -> Tuple[int, int]:
+    key = (block.block_id, covered)
+    counts = cache.get(key)
+    if counts is None:
+        loads = stores = 0
+        for instr in block.instructions[:covered]:
+            if instr.klass is InstrClass.LOAD:
+                loads += 1
+            elif instr.klass is InstrClass.STORE:
+                stores += 1
+        counts = (loads, stores)
+        cache[key] = counts
+    return counts
+
+
+def evaluate_trace(trace: Trace, config: SystemConfig,
+                   name: str = "") -> SystemMetrics:
+    """Replay a trace through a DIM system; returns its metrics.
+
+    The replay mirrors :class:`repro.system.coupled.CoupledSimulator`
+    decision for decision: same lookup points, same translation and
+    extension triggers, same speculation resolution and flush policy.
+    """
+    model = BlockCostModel(config.timing)
+    table = trace.table
+    seen: Set[int] = set()
+
+    def provider(pc: int) -> Optional[BasicBlock]:
+        if pc not in seen:
+            return None
+        return table.get_by_pc(pc)
+
+    engine = DimEngine(config.shape, config.dim, provider)
+    metrics = SystemMetrics(name=name or config.name)
+    prefix_cache: Dict[_PrefixKey, Tuple[int, int]] = {}
+    events = trace.events
+    n = len(events)
+    i = 0
+    while i < n:
+        event = events[i]
+        block = table.get(event.block_id)
+        seen.add(block.start_pc)
+        cfg = engine.lookup(block.start_pc)
+        if cfg is None:
+            _account_normal(metrics, model, block, 0, event.taken)
+            if block.is_conditional:
+                engine.observe_branch(block.branch_pc, event.taken)
+            if i < n - 1:
+                engine.consider_translation(block)
+            i += 1
+            continue
+
+        # ---- array execution --------------------------------------------
+        cfg = engine.maybe_extend(cfg)
+        stall = engine.begin_execution(cfg)
+        metrics.cycles += stall + cfg.exec_cycles
+        committed = 0
+        j = i
+        for cfg_block in cfg.blocks:
+            cfg_blk = cfg_block.block
+            seen.add(cfg_blk.start_pc)
+            ev = events[j]
+            if ev.block_id != cfg_blk.block_id:  # pragma: no cover
+                raise RuntimeError(
+                    "trace/configuration divergence at event "
+                    f"{j}: expected block {cfg_blk.block_id}, "
+                    f"got {ev.block_id}")
+            committed += cfg_block.covered
+            loads, stores = _prefix_mem_ops(prefix_cache, cfg_blk,
+                                            cfg_block.covered)
+            metrics.loads += loads
+            metrics.stores += stores
+            if not cfg_block.includes_terminator:
+                if cfg_block.covered == 0:
+                    # nothing of this block ran on the array: reprocess
+                    # the event with a fresh lookup (matches the coupled
+                    # simulator resuming at a block start).
+                    break
+                _account_normal(metrics, model, cfg_blk,
+                                cfg_block.covered, ev.taken)
+                if cfg_blk.is_conditional:
+                    engine.observe_branch(cfg_blk.branch_pc, ev.taken)
+                j += 1
+                break
+            term = cfg_blk.terminator
+            committed += 1
+            metrics.branches += 1
+            if term.klass is InstrClass.BRANCH:
+                actual = ev.taken
+                if actual:
+                    metrics.taken_transfers += 1
+                j += 1
+                if not engine.speculation_outcome(cfg, cfg_block, actual):
+                    metrics.cycles += config.dim.misspec_penalty
+                    break
+            else:  # unconditional j
+                metrics.taken_transfers += 1
+                j += 1
+        metrics.instructions += committed
+        engine.stats.array_instructions += committed
+        i = j
+
+    cache = engine.cache
+    metrics.dim = engine.stats
+    metrics.cache_lookups = cache.lookups
+    metrics.cache_hits = cache.hits
+    metrics.cache_insertions = cache.insertions
+    metrics.cache_evictions = cache.evictions
+    metrics.cache_invalidations = cache.invalidations
+    metrics.predictor_accuracy = engine.predictor.accuracy
+    return metrics
+
+
+def speedup(trace: Trace, config: SystemConfig) -> float:
+    """Baseline cycles divided by accelerated cycles for one trace."""
+    base = baseline_metrics(trace, config.timing)
+    accel = evaluate_trace(trace, config)
+    return base.cycles / accel.cycles if accel.cycles else 0.0

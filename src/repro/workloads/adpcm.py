@@ -1,0 +1,177 @@
+"""IMA ADPCM — MiBench `rawaudio` (adpcm) encode/decode.
+
+The per-sample loop is dominated by short if/else ladders (sign handling,
+quantiser level selection, index clamping), making RawAudio the most
+control-flow-oriented pair in Figure 3b (~4-5 instructions per branch).
+The paper uses it to show DIM still gains on branch-dense code
+(1.6-2.0x) where classic kernel-mapping reconfigurable systems cannot.
+"""
+
+from repro.workloads import Workload
+
+#: the standard IMA ADPCM step-size table (89 entries).
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def _table(values) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+_COMMON = f"""
+int step_tab[89] = {{{_table(_STEP_TABLE)}}};
+int index_tab[16] = {{{_table(_INDEX_TABLE)}}};
+int pcm[1024];
+char code[1024];
+int out[1024];
+
+void init_samples() {{
+    int i;
+    unsigned seed = 0xa0d10;
+    int v = 0;
+    for (i = 0; i < 1024; i++) {{
+        seed = seed * 1103515245 + 12345;
+        v = v + (((seed >> 16) & 0x3ff) - 512);
+        if (v > 30000) {{ v = 30000; }}
+        if (v < -30000) {{ v = -30000; }}
+        pcm[i] = v;
+    }}
+}}
+
+void adpcm_encode(int n) {{
+    int i;
+    int valpred = 0;
+    int index = 0;
+    int step;
+    int diff;
+    int sign;
+    int delta;
+    int vpdiff;
+    step = step_tab[0];
+    for (i = 0; i < n; i++) {{
+        diff = pcm[i] - valpred;
+        if (diff < 0) {{ sign = 8; diff = -diff; }} else {{ sign = 0; }}
+        delta = 0;
+        vpdiff = step >> 3;
+        if (diff >= step) {{
+            delta = 4;
+            diff = diff - step;
+            vpdiff = vpdiff + step;
+        }}
+        step = step >> 1;
+        if (diff >= step) {{
+            delta = delta | 2;
+            diff = diff - step;
+            vpdiff = vpdiff + step;
+        }}
+        step = step >> 1;
+        if (diff >= step) {{
+            delta = delta | 1;
+            vpdiff = vpdiff + step;
+        }}
+        if (sign) {{ valpred = valpred - vpdiff; }}
+        else {{ valpred = valpred + vpdiff; }}
+        if (valpred > 32767) {{ valpred = 32767; }}
+        else {{ if (valpred < -32768) {{ valpred = -32768; }} }}
+        delta = delta | sign;
+        index = index + index_tab[delta];
+        if (index < 0) {{ index = 0; }}
+        if (index > 88) {{ index = 88; }}
+        step = step_tab[index];
+        code[i] = delta;
+    }}
+}}
+
+void adpcm_decode(int n) {{
+    int i;
+    int valpred = 0;
+    int index = 0;
+    int step;
+    int delta;
+    int sign;
+    int vpdiff;
+    step = step_tab[0];
+    for (i = 0; i < n; i++) {{
+        delta = code[i];
+        index = index + index_tab[delta];
+        if (index < 0) {{ index = 0; }}
+        if (index > 88) {{ index = 88; }}
+        sign = delta & 8;
+        delta = delta & 7;
+        vpdiff = step >> 3;
+        if (delta & 4) {{ vpdiff = vpdiff + step; }}
+        if (delta & 2) {{ vpdiff = vpdiff + (step >> 1); }}
+        if (delta & 1) {{ vpdiff = vpdiff + (step >> 2); }}
+        if (sign) {{ valpred = valpred - vpdiff; }}
+        else {{ valpred = valpred + vpdiff; }}
+        if (valpred > 32767) {{ valpred = 32767; }}
+        else {{ if (valpred < -32768) {{ valpred = -32768; }} }}
+        step = step_tab[index];
+        out[i] = valpred;
+    }}
+}}
+"""
+
+_ENC_MAIN = """
+int main() {
+    int pass;
+    int i;
+    unsigned check = 0;
+    init_samples();
+    for (pass = 0; pass < 3; pass++) {
+        adpcm_encode(1024);
+    }
+    for (i = 0; i < 1024; i++) {
+        check = check * 31 + code[i];
+    }
+    print_str("rawaudio_e ");
+    print_int(check & 0x7fffffff);
+    print_char('\\n');
+    return 0;
+}
+"""
+
+_DEC_MAIN = """
+int main() {
+    int pass;
+    int i;
+    unsigned check = 0;
+    init_samples();
+    adpcm_encode(1024);
+    for (pass = 0; pass < 3; pass++) {
+        adpcm_decode(1024);
+    }
+    for (i = 0; i < 1024; i++) {
+        check = check * 31 + out[i];
+    }
+    print_str("rawaudio_d ");
+    print_int(check & 0x7fffffff);
+    print_char('\\n');
+    return 0;
+}
+"""
+
+RAWAUDIO_E = Workload(
+    name="rawaudio_e",
+    paper_name="RawAudio E.",
+    category="control",
+    source=_COMMON + _ENC_MAIN,
+    description="IMA ADPCM encoding of 1024 samples x 5 passes",
+)
+
+RAWAUDIO_D = Workload(
+    name="rawaudio_d",
+    paper_name="RawAudio D.",
+    category="control",
+    source=_COMMON + _DEC_MAIN,
+    description="IMA ADPCM decoding of 1024 samples x 5 passes",
+)

@@ -1,0 +1,97 @@
+"""Bit counting (MiBench `bitcount`).
+
+Five counting strategies applied to a stream of pseudo-random words —
+iterated shift-and-add, Kernighan's trick, nibble and byte table lookups,
+and a branch-free SWAR reduction — matching the structure of MiBench's
+bitcnts driver.  Short loops with data-dependent trip counts make this a
+control benchmark; Table 2 shows it almost invariant to every array and
+cache parameter (1.76x / 1.83x everywhere).
+"""
+
+from repro.workloads import Workload
+
+_SOURCE = r"""
+int nibble_tab[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+char byte_tab[256];
+
+void build_byte_tab() {
+    int i;
+    for (i = 0; i < 256; i++) {
+        byte_tab[i] = nibble_tab[i & 15] + nibble_tab[(i >> 4) & 15];
+    }
+}
+
+int count_shift(unsigned v) {
+    int n = 0;
+    while (v != 0) {
+        n = n + (v & 1);
+        v = v >> 1;
+    }
+    return n;
+}
+
+int count_kernighan(unsigned v) {
+    int n = 0;
+    while (v != 0) {
+        v = v & (v - 1);
+        n++;
+    }
+    return n;
+}
+
+int count_nibbles(unsigned v) {
+    int n = 0;
+    while (v != 0) {
+        n = n + nibble_tab[v & 15];
+        v = v >> 4;
+    }
+    return n;
+}
+
+int count_bytes(unsigned v) {
+    return byte_tab[v & 0xff] + byte_tab[(v >> 8) & 0xff]
+         + byte_tab[(v >> 16) & 0xff] + byte_tab[(v >> 24) & 0xff];
+}
+
+int count_swar(unsigned v) {
+    v = v - ((v >> 1) & 0x55555555);
+    v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+    v = (v + (v >> 4)) & 0x0f0f0f0f;
+    return (v * 0x01010101) >> 24;
+}
+
+int main() {
+    int i;
+    unsigned seed = 0xb17c047;
+    unsigned v;
+    int a; int b; int c; int d; int e;
+    unsigned total = 0;
+    build_byte_tab();
+    for (i = 0; i < 700; i++) {
+        seed = seed * 1103515245 + 12345;
+        v = seed ^ (seed >> 13);
+        a = count_shift(v);
+        b = count_kernighan(v);
+        c = count_nibbles(v);
+        d = count_bytes(v);
+        e = count_swar(v);
+        if (a != b || b != c || c != d || d != e) {
+            print_str("bitcount MISMATCH\n");
+            return 1;
+        }
+        total = total + a;
+    }
+    print_str("bitcount ");
+    print_int(total);
+    print_char('\n');
+    return 0;
+}
+"""
+
+BITCOUNT = Workload(
+    name="bitcount",
+    paper_name="Bitcount",
+    category="control",
+    source=_SOURCE,
+    description="five bit-count algorithms over 700 words, cross-checked",
+)

@@ -1,0 +1,71 @@
+"""CRC-32 — the paper's canonical "three hot basic blocks" benchmark.
+
+The table is built at run time (8-step bit loop per entry) and the
+checksum loop itself is one tiny basic block executed for every byte —
+which is why CRC's speedup in Table 2 is completely insensitive to the
+reconfiguration-cache size (1.53x / 1.92x across all columns).
+"""
+
+from repro.workloads import Workload
+
+_SOURCE = r"""
+unsigned crc_tab[256];
+unsigned char data[2048];
+
+void build_tab() {
+    int i;
+    int j;
+    unsigned c;
+    for (i = 0; i < 256; i++) {
+        c = i;
+        for (j = 0; j < 8; j++) {
+            if (c & 1) {
+                c = (c >> 1) ^ 0xedb88320;
+            } else {
+                c = c >> 1;
+            }
+        }
+        crc_tab[i] = c;
+    }
+}
+
+void init_data() {
+    int i;
+    unsigned seed = 0xc0ffee11;
+    for (i = 0; i < 2048; i++) {
+        seed = seed * 1103515245 + 12345;
+        data[i] = (seed >> 16) & 0xff;
+    }
+}
+
+unsigned crc_buffer(int len) {
+    unsigned c = 0xffffffff;
+    int i;
+    for (i = 0; i < len; i++) {
+        c = crc_tab[(c ^ data[i]) & 0xff] ^ (c >> 8);
+    }
+    return ~c;
+}
+
+int main() {
+    int pass;
+    unsigned total = 0;
+    build_tab();
+    init_data();
+    for (pass = 0; pass < 6; pass++) {
+        total = total ^ crc_buffer(2048 - pass);
+    }
+    print_str("crc ");
+    print_int(total & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+CRC = Workload(
+    name="crc",
+    paper_name="CRC",
+    category="mid",
+    source=_SOURCE,
+    description="table-driven CRC-32 over a 2 KiB buffer, 14 passes",
+)

@@ -1,0 +1,296 @@
+"""JPEG-style encode/decode (MiBench `cjpeg`/`djpeg`).
+
+The encoder runs the real JPEG block pipeline on 16 8x8 tiles of a
+synthetic image: level shift, separable integer DCT (fixed-point cosine
+tables), reciprocal-multiply quantisation, zigzag reordering, and a
+variable-length coding stage (magnitude categories + bit packing).  The
+decoder inverts it: entropy-free dequantisation, IDCT, and clamping.
+Like MiBench's JPEG, the work is spread over many moderately-sized basic
+blocks with no single dominant kernel — Figure 3a's motivating example —
+which is why the paper's JPEG rows respond to both speculation and extra
+cache slots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.workloads import Workload
+
+
+def _cos_table() -> List[int]:
+    """C[u*8+x] = 0.5 * c(u) * cos((2x+1) u pi / 16), Q12 fixed point."""
+    out = []
+    for u in range(8):
+        cu = (1.0 / math.sqrt(2.0)) if u == 0 else 1.0
+        for x in range(8):
+            value = 0.5 * cu * math.cos((2 * x + 1) * u * math.pi / 16.0)
+            out.append(int(round(value * 4096)))
+    return out
+
+
+_COS = _cos_table()
+#: transpose with the same normalisation — the inverse transform kernel.
+_COS_T = [_COS[u * 8 + x] for x in range(8) for u in range(8)]
+
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+_RECIP = [int(round(65536.0 / q)) for q in _QUANT]
+
+_ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def _table(values) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+_COMMON = f"""
+int cosf[64] = {{{_table(_COS)}}};
+int cosi[64] = {{{_table(_COS_T)}}};
+int quant[64] = {{{_table(_QUANT)}}};
+int recip[64] = {{{_table(_RECIP)}}};
+int zigzag[64] = {{{_table(_ZIGZAG)}}};
+unsigned char image[1024];
+int blk[64];
+int tmp[64];
+int coef[64];
+int zz[64];
+int pix[64];
+
+void init_image() {{
+    int i;
+    unsigned seed = 0x1ace5;
+    int v = 128;
+    for (i = 0; i < 1024; i++) {{
+        seed = seed * 1103515245 + 12345;
+        v = v + (((seed >> 16) & 0x3f) - 32);
+        if (v < 0) {{ v = 0; }}
+        if (v > 255) {{ v = 255; }}
+        image[i] = v;
+    }}
+}}
+
+void load_block(int bx, int by) {{
+    int r;
+    int c;
+    for (r = 0; r < 8; r++) {{
+        for (c = 0; c < 8; c++) {{
+            blk[(r << 3) + c] = image[((by + r) << 5) + bx + c] - 128;
+        }}
+    }}
+}}
+
+void fdct() {{
+    int u;
+    int x;
+    int r;
+    int sum;
+    // rows
+    for (r = 0; r < 8; r++) {{
+        for (u = 0; u < 8; u++) {{
+            sum = 0;
+            for (x = 0; x < 8; x++) {{
+                sum = sum + blk[(r << 3) + x] * cosf[(u << 3) + x];
+            }}
+            tmp[(r << 3) + u] = sum >> 9;
+        }}
+    }}
+    // columns
+    for (r = 0; r < 8; r++) {{
+        for (u = 0; u < 8; u++) {{
+            sum = 0;
+            for (x = 0; x < 8; x++) {{
+                sum = sum + tmp[(x << 3) + r] * cosf[(u << 3) + x];
+            }}
+            coef[(u << 3) + r] = sum >> 15;
+        }}
+    }}
+}}
+
+void idct() {{
+    int u;
+    int x;
+    int r;
+    int sum;
+    for (r = 0; r < 8; r++) {{
+        for (x = 0; x < 8; x++) {{
+            sum = 0;
+            for (u = 0; u < 8; u++) {{
+                sum = sum + coef[(u << 3) + r] * cosi[(x << 3) + u];
+            }}
+            tmp[(x << 3) + r] = sum >> 9;
+        }}
+    }}
+    for (r = 0; r < 8; r++) {{
+        for (x = 0; x < 8; x++) {{
+            sum = 0;
+            for (u = 0; u < 8; u++) {{
+                sum = sum + tmp[(r << 3) + u] * cosi[(x << 3) + u];
+            }}
+            sum = (sum >> 15) + 128;
+            if (sum < 0) {{ sum = 0; }}
+            if (sum > 255) {{ sum = 255; }}
+            pix[(r << 3) + x] = sum;
+        }}
+    }}
+}}
+
+void quantize() {{
+    int i;
+    int v;
+    for (i = 0; i < 64; i++) {{
+        v = coef[i];
+        if (v < 0) {{
+            coef[i] = -((-v * recip[i]) >> 16);
+        }} else {{
+            coef[i] = (v * recip[i]) >> 16;
+        }}
+    }}
+}}
+
+void dequantize() {{
+    int i;
+    for (i = 0; i < 64; i++) {{
+        coef[i] = coef[i] * quant[i];
+    }}
+}}
+
+int magnitude_category(int v) {{
+    int n = 0;
+    if (v < 0) {{ v = -v; }}
+    while (v != 0) {{
+        v = v >> 1;
+        n++;
+    }}
+    return n;
+}}
+"""
+
+_ENC_MAIN = r"""
+unsigned bits;
+int nbits;
+unsigned packed_check;
+
+void emit_bits(int value, int count) {
+    bits = (bits << count) | (value & ((1 << count) - 1));
+    nbits = nbits + count;
+    while (nbits >= 8) {
+        nbits = nbits - 8;
+        packed_check = packed_check * 31 + ((bits >> nbits) & 0xff);
+    }
+}
+
+int encode_block() {
+    int i;
+    int run = 0;
+    int v;
+    int cat;
+    for (i = 0; i < 64; i++) {
+        zz[i] = coef[zigzag[i]];
+    }
+    cat = magnitude_category(zz[0]);
+    emit_bits(cat, 4);
+    emit_bits(zz[0], cat + 1);
+    for (i = 1; i < 64; i++) {
+        v = zz[i];
+        if (v == 0) {
+            run++;
+        } else {
+            while (run > 15) {
+                emit_bits(0xf0, 8);
+                run = run - 16;
+            }
+            cat = magnitude_category(v);
+            emit_bits((run << 4) | cat, 8);
+            emit_bits(v, cat + 1);
+            run = 0;
+        }
+    }
+    emit_bits(0, 4);
+    return 0;
+}
+
+int main() {
+    int bx;
+    int by;
+    int pass;
+    bits = 0;
+    nbits = 0;
+    packed_check = 0;
+    init_image();
+    for (pass = 0; pass < 1; pass++) {
+        for (by = 0; by < 24; by = by + 8) {
+            for (bx = 0; bx < 32; bx = bx + 8) {
+                load_block(bx, by);
+                fdct();
+                quantize();
+                encode_block();
+            }
+        }
+    }
+    print_str("jpeg_e ");
+    print_int(packed_check & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+_DEC_MAIN = r"""
+int main() {
+    int bx;
+    int by;
+    int pass;
+    int i;
+    unsigned check = 0;
+    init_image();
+    for (pass = 0; pass < 1; pass++) {
+        for (by = 0; by < 16; by = by + 8) {
+            for (bx = 0; bx < 32; bx = bx + 8) {
+                load_block(bx, by);
+                fdct();
+                quantize();
+                // decoder path
+                dequantize();
+                idct();
+                for (i = 0; i < 64; i++) {
+                    check = check * 31 + pix[i];
+                }
+            }
+        }
+    }
+    print_str("jpeg_d ");
+    print_int(check & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+JPEG_E = Workload(
+    name="jpeg_e",
+    paper_name="JPEG E.",
+    category="dataflow",
+    source=_COMMON + _ENC_MAIN,
+    description="8x8 DCT + quantisation + VLC over 12 tiles of a 32x32 image",
+)
+
+JPEG_D = Workload(
+    name="jpeg_d",
+    paper_name="JPEG D.",
+    category="mid",
+    source=_COMMON + _DEC_MAIN,
+    description="dequantisation + IDCT + clamping over a 32x32 image",
+)

@@ -1,0 +1,136 @@
+"""Patricia trie (MiBench `patricia`).
+
+Insert and look up 32-bit keys (IP-address-like) in a PATRICIA trie.
+Nodes live in parallel arrays (key / bit index / left / right) — the
+pointer-chasing, bit-testing loops give the irregular control flow the
+MiBench benchmark is known for; the paper reports strong cache
+sensitivity for it (1.49x at 16 slots to 2.37x at 256 with speculation).
+"""
+
+from repro.workloads import Workload
+
+_SOURCE = r"""
+unsigned node_key[512];
+int node_bit[512];
+int node_left[512];
+int node_right[512];
+int node_count;
+
+int bit_set(unsigned key, int b) {
+    return (key >> b) & 1;
+}
+
+int search(unsigned key) {
+    int p = 0;
+    int next = node_left[0];
+    // walk down until a bit index does not decrease
+    while (node_bit[next] < node_bit[p]) {
+        p = next;
+        if (bit_set(key, node_bit[next])) {
+            next = node_right[next];
+        } else {
+            next = node_left[next];
+        }
+    }
+    return next;
+}
+
+void insert(unsigned key) {
+    int t;
+    int p;
+    int x;
+    int b;
+    int n;
+    t = search(key);
+    if (node_key[t] == key) { return; }
+    // find the first differing bit
+    b = 31;
+    while (b >= 0 && bit_set(key, b) == bit_set(node_key[t], b)) {
+        b--;
+    }
+    if (b < 0) { return; }
+    // walk again, stopping where the new bit index belongs
+    p = 0;
+    x = node_left[0];
+    while (node_bit[x] < node_bit[p] && node_bit[x] > b) {
+        p = x;
+        if (bit_set(key, node_bit[x])) {
+            x = node_right[x];
+        } else {
+            x = node_left[x];
+        }
+    }
+    n = node_count;
+    node_count++;
+    node_key[n] = key;
+    node_bit[n] = b;
+    if (bit_set(key, b)) {
+        node_left[n] = x;
+        node_right[n] = n;
+    } else {
+        node_left[n] = n;
+        node_right[n] = x;
+    }
+    if (x == node_left[p]) {
+        node_left[p] = n;
+    } else {
+        node_right[p] = n;
+    }
+}
+
+int main() {
+    int i;
+    int n;
+    int hits = 0;
+    unsigned seed = 0x1b0b5;
+    unsigned probe;
+    unsigned key;
+    unsigned check = 0;
+    // header node: bit index 32 (larger than any real bit), points to self
+    node_key[0] = 0;
+    node_bit[0] = 32;
+    node_left[0] = 0;
+    node_right[0] = 0;
+    node_count = 1;
+    for (i = 0; i < 300; i++) {
+        seed = seed * 1103515245 + 12345;
+        key = (seed >> 8) & 0xffffff;
+        insert(key | 0x0a000000);
+    }
+    seed = 0x1b0b5;
+    probe = 0x77777;
+    for (i = 0; i < 500; i++) {
+        if (i & 1) {
+            seed = seed * 1103515245 + 12345;   // replay inserted keys
+            key = (seed >> 8) & 0xffffff;
+        } else {
+            probe = probe * 1664525 + 1013904223; // random probes
+            key = (probe >> 8) & 0xffffff;
+        }
+        n = search(key | 0x0a000000);
+        if (node_key[n] == (key | 0x0a000000)) {
+            hits++;
+        }
+        check = check * 31 + node_bit[n];
+    }
+    print_str("patricia ");
+    print_int(node_count);
+    print_char(' ');
+    print_int(hits);
+    print_char(' ');
+    print_int(check & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+PATRICIA = Workload(
+    name="patricia",
+    paper_name="Patricia",
+    category="mid",
+    source=_SOURCE,
+    description="PATRICIA trie: 300 inserts, 500 lookups",
+)
+"""Note: the trie uses the classic single-header-node formulation with
+back edges; lookups terminate because bit indices strictly decrease on
+the way down."""

@@ -1,0 +1,228 @@
+"""SUSAN image kernels (MiBench `susan` -s / -c / -e).
+
+All three variants work on a synthetic 32x32 greyscale image and use the
+SUSAN brightness-similarity lookup table.  Smoothing is the dataflow
+variant (weighted window sums); corners and edges compute the USAN area
+per pixel and then run threshold/centre-of-gravity decisions, giving the
+mixed control behaviour the paper highlights ("algorithms which have no
+distinct kernels, such as Susan Corners").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads import Workload
+
+#: SUSAN similarity LUT: c(d) = 100 * exp(-(d/t)^6) with t=27, d in 0..255.
+_LUT = [int(round(100.0 * math.exp(-((d / 27.0) ** 6)))) for d in range(256)]
+
+
+def _table(values) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+_COMMON = f"""
+int lut[256] = {{{_table(_LUT)}}};
+unsigned char image[1024];
+unsigned char out[1024];
+int usan[1024];
+
+void init_image() {{
+    int x;
+    int y;
+    unsigned seed = 0x5a5a11;
+    int v;
+    for (y = 0; y < 32; y++) {{
+        for (x = 0; x < 32; x++) {{
+            // two flat regions with an edge, plus noise: gives SUSAN
+            // something real to find
+            if (x + y < 32) {{ v = 60; }} else {{ v = 180; }}
+            if (x > 20 && y > 20) {{ v = 240; }}
+            seed = seed * 1103515245 + 12345;
+            v = v + (((seed >> 16) & 15) - 8);
+            if (v < 0) {{ v = 0; }}
+            if (v > 255) {{ v = 255; }}
+            image[(y << 5) + x] = v;
+        }}
+    }}
+}}
+
+int absdiff(int a, int b) {{
+    if (a > b) {{ return a - b; }}
+    return b - a;
+}}
+"""
+
+_SMOOTH_MAIN = r"""
+int main() {
+    int x;
+    int y;
+    int dx;
+    int dy;
+    int pass;
+    int center;
+    int weight;
+    int total;
+    int wsum;
+    int p;
+    unsigned check = 0;
+    init_image();
+    for (pass = 0; pass < 1; pass++) {
+        for (y = 2; y < 30; y++) {
+            for (x = 2; x < 30; x++) {
+                center = image[(y << 5) + x];
+                total = 0;
+                wsum = 0;
+                for (dy = -2; dy <= 2; dy++) {
+                    for (dx = -2; dx <= 2; dx++) {
+                        p = image[((y + dy) << 5) + x + dx];
+                        weight = p - center;
+                        if (weight < 0) { weight = -weight; }
+                        weight = lut[weight];
+                        total = total + p * weight;
+                        wsum = wsum + weight;
+                    }
+                }
+                if (wsum == 0) { wsum = 1; }
+                out[(y << 5) + x] = total / wsum;
+            }
+        }
+        for (y = 2; y < 30; y++) {
+            for (x = 2; x < 30; x++) {
+                image[(y << 5) + x] = out[(y << 5) + x];
+            }
+        }
+    }
+    for (p = 0; p < 1024; p++) {
+        check = check * 31 + image[p];
+    }
+    print_str("susan_s ");
+    print_int(check & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+_USAN_HELPERS = r"""
+void compute_usan() {
+    int x;
+    int y;
+    int dx;
+    int dy;
+    int center;
+    int n;
+    int d;
+    for (y = 3; y < 29; y++) {
+        for (x = 3; x < 29; x++) {
+            center = image[(y << 5) + x];
+            n = 0;
+            for (dy = -3; dy <= 3; dy++) {
+                for (dx = -3; dx <= 3; dx++) {
+                    // approximate circular mask of radius 3.4
+                    if (dx * dx + dy * dy <= 11) {
+                        d = image[((y + dy) << 5) + x + dx] - center;
+                        if (d < 0) { d = -d; }
+                        n = n + lut[d];
+                    }
+                }
+            }
+            usan[(y << 5) + x] = n;
+        }
+    }
+}
+"""
+
+_CORNERS_MAIN = r"""
+int main() {
+    int x;
+    int y;
+    int g;
+    int n;
+    int corners = 0;
+    int pass;
+    unsigned check = 0;
+    init_image();
+    for (pass = 0; pass < 1; pass++) {
+        compute_usan();
+        g = (37 * 100) / 2;
+        for (y = 4; y < 28; y++) {
+            for (x = 4; x < 28; x++) {
+                n = usan[(y << 5) + x];
+                if (n < g) {
+                    // local minimum test over the 3x3 neighbourhood
+                    if (n <= usan[((y - 1) << 5) + x]
+                            && n <= usan[((y + 1) << 5) + x]
+                            && n < usan[(y << 5) + x - 1]
+                            && n < usan[(y << 5) + x + 1]) {
+                        corners++;
+                        check = check * 31 + ((y << 5) + x);
+                    }
+                }
+            }
+        }
+    }
+    print_str("susan_c ");
+    print_int(corners);
+    print_char(' ');
+    print_int(check & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+_EDGES_MAIN = r"""
+int main() {
+    int x;
+    int y;
+    int g;
+    int n;
+    int edges = 0;
+    int pass;
+    unsigned check = 0;
+    init_image();
+    for (pass = 0; pass < 1; pass++) {
+        compute_usan();
+        g = (37 * 100 * 3) / 4;
+        for (y = 4; y < 28; y++) {
+            for (x = 4; x < 28; x++) {
+                n = usan[(y << 5) + x];
+                if (n < g) {
+                    edges++;
+                    check = check * 31 + (g - n);
+                }
+            }
+        }
+    }
+    print_str("susan_e ");
+    print_int(edges);
+    print_char(' ');
+    print_int(check & 0x7fffffff);
+    print_char('\n');
+    return 0;
+}
+"""
+
+SUSAN_SMOOTHING = Workload(
+    name="susan_s",
+    paper_name="Susan Smothing",
+    category="dataflow",
+    source=_COMMON + _SMOOTH_MAIN,
+    description="SUSAN similarity-weighted smoothing, 5x5 window",
+)
+
+SUSAN_CORNERS = Workload(
+    name="susan_c",
+    paper_name="Susan Corners",
+    category="mid",
+    source=_COMMON + _USAN_HELPERS + _CORNERS_MAIN,
+    description="USAN corner detection with local-minimum test",
+)
+
+SUSAN_EDGES = Workload(
+    name="susan_e",
+    paper_name="Susan Edges",
+    category="mid",
+    source=_COMMON + _USAN_HELPERS + _EDGES_MAIN,
+    description="USAN edge response thresholding",
+)

@@ -1,0 +1,91 @@
+"""Workload characterisation (Figure 3) and report formatting."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    block_profile,
+    blocks_for_coverage,
+    coverage_curve,
+    format_table,
+    instructions_per_branch,
+)
+from repro.minic import compile_to_program
+from repro.sim import run_program
+from repro.workloads import run_workload
+
+
+def traced(source):
+    return run_program(compile_to_program(source), collect_trace=True).trace
+
+
+def test_block_profile_counts():
+    trace = traced("""
+    int main() {
+        int i;
+        int n = 0;
+        for (i = 0; i < 10; i++) { n += i; }
+        print_int(n);
+        return 0;
+    }
+    """)
+    profile = block_profile(trace)
+    assert profile.total_instructions == sum(profile.instructions.values())
+    assert max(profile.counts.values()) >= 9   # the loop body block
+    assert profile.instructions_per_branch > 1
+
+
+def test_coverage_curve_properties():
+    trace = run_workload("crc").trace
+    profile = block_profile(trace)
+    curve = coverage_curve(profile)
+    assert all(b <= c + 1e-12 for b, c in zip(curve, curve[1:]))
+    assert abs(curve[-1] - 1.0) < 1e-9
+    # hottest-first: the first step is the largest
+    assert curve[0] >= (curve[1] - curve[0]) - 1e-12
+
+
+def test_crc_is_kernel_dominated():
+    """Paper Fig. 3a: ~3 blocks cover nearly all of CRC's execution."""
+    coverage = blocks_for_coverage(run_workload("crc").trace)
+    assert coverage[0.8] <= 3
+    assert coverage[1.0] <= 40
+
+
+def test_jpeg_needs_many_blocks():
+    """Paper Fig. 3a: JPEG has no distinct kernels."""
+    jpeg = blocks_for_coverage(run_workload("jpeg_d").trace)
+    crc = blocks_for_coverage(run_workload("crc").trace)
+    assert jpeg[0.8] > crc[0.8]
+
+
+def test_instructions_per_branch_wrapper():
+    trace = run_workload("sha").trace
+    value = instructions_per_branch(trace)
+    assert value > 10
+
+
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=30))
+def test_blocks_for_coverage_monotone(weights):
+    from repro.analysis.blocks import BlockProfile
+    profile = BlockProfile(
+        counts={i: 1 for i in range(len(weights))},
+        instructions={i: w for i, w in enumerate(weights)},
+        total_instructions=sum(weights),
+        total_branches=len(weights),
+    )
+    result = blocks_for_coverage(profile, fractions=(0.2, 0.5, 0.9, 1.0))
+    values = [result[f] for f in (0.2, 0.5, 0.9, 1.0)]
+    assert values == sorted(values)
+    assert values[-1] <= len(weights)
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["a", 1.5], ["long-name", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "-+-" in lines[2]
+    assert len(lines) == 5
+    # columns align
+    assert lines[1].index("|") == lines[3].index("|")

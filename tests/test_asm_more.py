@@ -1,0 +1,154 @@
+"""Additional assembler coverage: relocations, layout, immediates."""
+
+import pytest
+
+from repro.asm import AssemblerError, assemble
+from repro.isa import decode
+from repro.sim import run_program
+
+EXIT = "li $v0, 10\nsyscall\n"
+
+
+def words(program):
+    return [program.word_at(program.text_base + 4 * i)
+            for i in range(program.num_instructions())]
+
+
+def test_la_with_symbol_offset():
+    program = assemble("""
+        .data
+    tab: .word 1, 2, 3, 4
+        .text
+        la $t0, tab+8
+        lw $a0, 0($t0)
+        li $v0, 1
+        syscall
+    """ + EXIT)
+    result = run_program(program)
+    assert result.output == "3"
+
+
+def test_hi_lo_relocation_with_large_addresses():
+    # data base 0x10010000 has a nonzero high half: la must split it
+    program = assemble("""
+        .data
+    v:  .word 0x12345678
+        .text
+        la $t0, v
+        lw $a0, 0($t0)
+        li $v0, 34
+        syscall
+    """ + EXIT)
+    result = run_program(program)
+    assert result.output == "0x12345678"
+
+
+def test_text_align_pads_with_gap():
+    program = assemble("""
+        nop
+        .align 3
+    target:
+        nop
+    """)
+    assert program.symbols["target"] % 8 == 0
+
+
+def test_branch_pseudo_with_immediate_operand():
+    program = assemble("""
+        li $t0, 0
+    loop:
+        addiu $t0, $t0, 1
+        blt $t0, 10, loop
+        bge $t0, 10, done
+        nop
+    done:
+        move $a0, $t0
+        li $v0, 1
+        syscall
+    """ + EXIT)
+    result = run_program(program)
+    assert result.output == "10"
+
+
+def test_branch_pseudo_with_zero_immediate_uses_zero_register():
+    program = assemble("blt $t0, 0, somewhere\nsomewhere: nop\n")
+    first = decode(words(program)[0])
+    assert first.mnemonic == "slt"
+    assert first.rt == 0   # compares against $zero directly, no li
+
+
+def test_label_on_own_line_binds_to_next_instruction():
+    program = assemble("""
+    alone:
+        nop
+        nop
+    """)
+    assert program.symbols["alone"] == program.text_base
+
+
+def test_trailing_label_binds_to_end():
+    program = assemble("nop\nend:\n")
+    assert program.symbols["end"] == program.text_base + 4
+
+
+def test_multiple_labels_one_location():
+    program = assemble("a: b: c: nop\n")
+    assert program.symbols["a"] == program.symbols["b"] \
+        == program.symbols["c"]
+
+
+def test_numeric_register_names():
+    program = assemble("add $8, $9, $10\n")
+    instr = decode(words(program)[0])
+    assert (instr.rd, instr.rs, instr.rt) == (8, 9, 10)
+
+
+def test_semicolon_comments_and_blank_lines():
+    program = assemble("""
+
+    ; full-line comment
+    nop  ; trailing comment
+
+    """)
+    assert program.num_instructions() == 1
+
+
+def test_negative_and_hex_data_values():
+    program = assemble("""
+        .data
+    a:  .word -1, 0xFFFFFFFF
+    b:  .byte -2
+    """)
+    offset = program.symbols["a"] - program.data_base
+    assert program.data[offset:offset + 8] == b"\xff" * 8
+    offset = program.symbols["b"] - program.data_base
+    assert program.data[offset] == 0xFE
+
+
+def test_ascii_vs_asciiz():
+    program = assemble("""
+        .data
+    a:  .ascii "ab"
+    b:  .asciiz "cd"
+    """)
+    assert program.symbols["b"] == program.symbols["a"] + 2
+    data_end = program.symbols["b"] - program.data_base + 3
+    assert program.data[:data_end] == b"abcd\x00"
+
+
+def test_jump_to_label_encodes_absolute_target():
+    program = assemble("""
+        j end
+        nop
+    end:
+        nop
+    """)
+    instr = decode(words(program)[0])
+    assert instr.branch_target(program.text_base) == \
+        program.symbols["end"]
+
+
+def test_branch_out_of_range_rejected():
+    body = "nop\n" * 40000
+    with pytest.raises(AssemblerError):
+        assemble("top:\n" + body + "beq $t0, $t1, top\n")

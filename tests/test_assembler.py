@@ -1,0 +1,212 @@
+"""Assembler: directives, labels, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.asm import AssemblerError, assemble
+from repro.asm.disassembler import disassemble_program, disassemble_word
+from repro.isa import decode
+
+
+def words(program):
+    return [program.word_at(program.text_base + 4 * i)
+            for i in range(program.num_instructions())]
+
+
+def mnemonics(program):
+    return [decode(w).mnemonic for w in words(program)]
+
+
+def test_empty_text_and_data():
+    program = assemble(".text\n.data\n")
+    assert program.text == b""
+    assert program.data == b""
+
+
+def test_simple_arithmetic():
+    program = assemble("add $t0, $t1, $t2\n")
+    assert mnemonics(program) == ["add"]
+
+
+def test_label_and_branch_backwards():
+    program = assemble("""
+    top: addiu $t0, $t0, 1
+         bne $t0, $t1, top
+    """)
+    branch = decode(words(program)[1])
+    assert branch.mnemonic == "bne"
+    assert branch.imm == -2
+
+
+def test_branch_forward():
+    program = assemble("""
+        beq $zero, $zero, done
+        nop
+    done:
+        nop
+    """)
+    branch = decode(words(program)[0])
+    assert branch.branch_target(program.text_base) == program.text_base + 8
+
+
+def test_li_expansion_sizes():
+    small = assemble("li $t0, 100\n")
+    assert mnemonics(small) == ["addiu"]
+    medium = assemble("li $t0, 0xBEEF\n")
+    assert mnemonics(medium) == ["ori"]
+    large = assemble("li $t0, 0x12345678\n")
+    assert mnemonics(large) == ["lui", "ori"]
+    round_value = assemble("li $t0, 0x10000\n")
+    assert mnemonics(round_value) == ["lui"]
+    negative = assemble("li $t0, -5\n")
+    assert mnemonics(negative) == ["addiu"]
+
+
+def test_la_uses_symbol_address():
+    program = assemble("""
+        .data
+    value: .word 42
+        .text
+        la $t0, value
+        lw $t1, 0($t0)
+    """)
+    lui, ori = decode(words(program)[0]), decode(words(program)[1])
+    address = (lui.imm << 16) | ori.imm
+    assert address == program.symbols["value"]
+
+
+def test_data_directives_layout():
+    program = assemble("""
+        .data
+    a:  .byte 1, 2, 3
+    b:  .half 0x1234
+    c:  .word 0xDEADBEEF
+    s:  .asciiz "hi"
+    sp: .space 4
+    """)
+    symbols = program.symbols
+    assert symbols["b"] % 2 == 0
+    assert symbols["c"] % 4 == 0
+    data = program.data
+    offset = symbols["c"] - program.data_base
+    assert data[offset:offset + 4] == bytes.fromhex("efbeadde")
+    offset = symbols["s"] - program.data_base
+    assert data[offset:offset + 3] == b"hi\x00"
+
+
+def test_word_with_symbol_reference():
+    program = assemble("""
+        .data
+    ptr: .word target
+    target: .word 7
+    """)
+    offset = program.symbols["ptr"] - program.data_base
+    stored = int.from_bytes(program.data[offset:offset + 4], "little")
+    assert stored == program.symbols["target"]
+
+
+def test_branch_pseudo_expansions():
+    program = assemble("""
+    top: blt $t0, $t1, top
+         bge $t0, $t1, top
+         bgt $t0, $t1, top
+         ble $t0, $t1, top
+         bltu $t0, $t1, top
+    """)
+    names = mnemonics(program)
+    assert names == ["slt", "bne", "slt", "beq", "slt", "bne",
+                     "slt", "beq", "sltu", "bne"]
+
+
+def test_mul_div_rem_pseudos():
+    program = assemble("""
+        mul $t0, $t1, $t2
+        div $t3, $t4, $t5
+        rem $t6, $t7, $t8
+        div $t1, $t2
+    """)
+    assert mnemonics(program) == ["mult", "mflo", "div", "mflo",
+                                  "div", "mfhi", "div"]
+
+
+def test_set_comparison_pseudos():
+    program = assemble("""
+        seq $t0, $t1, $t2
+        sne $t0, $t1, $t2
+        sgt $t0, $t1, $t2
+        sge $t0, $t1, $t2
+    """)
+    assert mnemonics(program) == ["xor", "sltiu", "xor", "sltu",
+                                  "slt", "slt", "xori"]
+
+
+def test_memory_operand_forms():
+    program = assemble("""
+        lw $t0, 8($sp)
+        lw $t1, ($sp)
+        sw $t0, -4($fp)
+    """)
+    first, second, third = [decode(w) for w in words(program)]
+    assert (first.imm, first.rs) == (8, 29)
+    assert second.imm == 0
+    assert (third.imm, third.rs) == (-4, 30)
+
+
+def test_entry_symbol_priority():
+    program = assemble("""
+    main: nop
+    __start: nop
+    """)
+    assert program.entry == program.symbols["__start"]
+    program = assemble("main: nop\n")
+    assert program.entry == program.symbols["main"]
+
+
+def test_char_literals_and_comments():
+    program = assemble("""
+        li $t0, 'A'       # letter A
+        li $t1, '\\n'     ; newline
+    """)
+    assert decode(words(program)[0]).imm == 65
+    assert decode(words(program)[1]).imm == 10
+
+
+def test_errors():
+    with pytest.raises(AssemblerError):
+        assemble("bogus $t0, $t1\n")
+    with pytest.raises(AssemblerError):
+        assemble("add $t0, $t1\n")  # wrong arity
+    with pytest.raises(AssemblerError):
+        assemble("lw $t0, nowhere($sp($t1))\n")
+    with pytest.raises(AssemblerError):
+        assemble("j missing_label\n")
+    with pytest.raises(AssemblerError):
+        assemble("dup: nop\ndup: nop\n")
+    with pytest.raises(AssemblerError):
+        assemble("add $t0, $t1, $bogusreg\n")
+    with pytest.raises(AssemblerError):
+        assemble(".data\n.word\n.text\n")  # empty .word is an arity error
+    with pytest.raises(AssemblerError):
+        assemble(".word 1\n")  # data directive in .text
+
+
+def test_disassembler_round_trip():
+    source = """
+        addiu $t0, $zero, 5
+        sll $t1, $t0, 2
+        lw $t2, 4($sp)
+        sw $t2, 8($sp)
+        mult $t0, $t1
+        mflo $t3
+        jr $ra
+    """
+    program = assemble(source)
+    lines = disassemble_program(program)
+    assert len(lines) == 7
+    # disassembled text re-assembles to identical words
+    body = "\n".join(line.split(":", 1)[1] for line in lines)
+    again = assemble(body)
+    assert again.text == program.text
+
+
+def test_disassemble_illegal_word():
+    assert disassemble_word(0xFFFFFFFF).startswith(".word")

@@ -1,0 +1,170 @@
+"""Cache models and their integration with both simulators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minic import compile_to_program
+from repro.sim import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheModel,
+    run_program,
+)
+from repro.system import paper_system
+from repro.system.coupled import run_coupled
+
+
+# --- the model --------------------------------------------------------------
+
+def test_direct_mapped_conflicts():
+    cache = CacheModel(CacheConfig(size_bytes=256, line_bytes=16,
+                                   associativity=1))
+    assert not cache.access(0x000)   # cold miss
+    assert cache.access(0x004)       # same line
+    assert not cache.access(0x100)   # conflicts with 0x000 (16 sets)
+    assert not cache.access(0x000)   # evicted
+    assert cache.misses == 3
+    assert cache.accesses == 4
+
+
+def test_two_way_associativity_resolves_conflict():
+    cache = CacheModel(CacheConfig(size_bytes=256, line_bytes=16,
+                                   associativity=2))
+    assert not cache.access(0x000)
+    assert not cache.access(0x100)   # same set, second way
+    assert cache.access(0x000)
+    assert cache.access(0x100)
+    assert cache.misses == 2
+
+
+def test_lru_replacement_order():
+    cache = CacheModel(CacheConfig(size_bytes=64, line_bytes=16,
+                                   associativity=2))  # 2 sets, 2 ways
+    cache.access(0x00)     # set 0
+    cache.access(0x40)     # set 0
+    cache.access(0x00)     # refresh 0x00
+    cache.access(0x80)     # set 0: evicts 0x40 (LRU)
+    assert cache.access(0x00)
+    assert not cache.access(0x40)
+
+
+def test_spatial_locality_within_line():
+    cache = CacheModel(CacheConfig(size_bytes=1024, line_bytes=32))
+    assert not cache.access(0x200)
+    for offset in range(1, 32):
+        assert cache.access(0x200 + offset)
+    assert cache.misses == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=100, line_bytes=16)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=4096, line_bytes=24)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=48 * 16, line_bytes=16)  # 48 sets
+
+
+def test_miss_rate_and_reset():
+    cache = CacheModel(CacheConfig())
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == 0.5
+    cache.reset_stats()
+    assert cache.accesses == 0
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=300))
+def test_cache_capacity_invariant(addresses):
+    config = CacheConfig(size_bytes=512, line_bytes=16, associativity=2)
+    cache = CacheModel(config)
+    for address in addresses:
+        cache.access(address)
+    for ways in cache._sets:
+        assert len(ways) <= config.associativity
+    # a re-walk of the most recent distinct lines must hit
+    assert cache.misses <= cache.accesses
+
+
+# --- integration ------------------------------------------------------------
+
+STREAM = """
+unsigned data[2048];
+int main() {
+    int i; int p;
+    unsigned acc = 0;
+    for (p = 0; p < 4; p++) {
+        for (i = 0; i < 2048; i++) {
+            acc = acc + data[i];
+            data[i] = acc;
+        }
+    }
+    print_int(acc & 0x7fffffff);
+    return 0;
+}
+"""
+
+
+def test_caches_change_timing_not_results():
+    program = compile_to_program(STREAM)
+    ideal = run_program(program)
+    small = CacheHierarchy.build(
+        dcache=CacheConfig(size_bytes=1024, line_bytes=16))
+    cached = run_program(program, caches=small)
+    assert cached.output == ideal.output
+    assert cached.registers == ideal.registers
+    assert cached.stats.instructions == ideal.stats.instructions
+    assert cached.stats.dcache_misses > 0
+    penalty = CacheConfig(size_bytes=1024, line_bytes=16).miss_penalty
+    assert cached.stats.cycles == ideal.stats.cycles \
+        + cached.stats.dcache_misses * penalty
+
+
+def test_bigger_dcache_misses_less():
+    program = compile_to_program(STREAM)
+    small = run_program(program, caches=CacheHierarchy.build(
+        dcache=CacheConfig(size_bytes=512)))
+    large = run_program(program, caches=CacheHierarchy.build(
+        dcache=CacheConfig(size_bytes=16384)))
+    assert large.stats.dcache_misses < small.stats.dcache_misses
+
+
+def test_icache_counts_fetches_only():
+    program = compile_to_program(STREAM)
+    result = run_program(program, caches=CacheHierarchy.build(
+        icache=CacheConfig(size_bytes=4096)))
+    assert result.stats.icache_misses > 0
+    # code is tiny: after warm-up everything hits
+    assert result.stats.icache_misses < 100
+
+
+def test_coupled_array_stalls_on_misses():
+    """Section 4.3: the array stops on a data-cache miss; results stay
+    bit-exact and the array-side misses are charged."""
+    program = compile_to_program(STREAM)
+    ideal = run_program(program)
+    config = paper_system("C3", 64, True)
+    hierarchy = CacheHierarchy.build(
+        dcache=CacheConfig(size_bytes=1024, line_bytes=16))
+    coupled = run_coupled(program, config, caches=hierarchy)
+    assert coupled.output == ideal.output
+    assert coupled.stats.dcache_misses > 0
+    # still faster than the plain core with the same cache
+    plain_cached = run_program(program, caches=CacheHierarchy.build(
+        dcache=CacheConfig(size_bytes=1024, line_bytes=16)))
+    assert coupled.stats.cycles < plain_cached.stats.cycles
+
+
+def test_coupled_icache_sees_fewer_fetches():
+    """Array-covered instructions are not fetched from instruction
+    memory — the coupled system touches the I-cache far less."""
+    from repro.system import CoupledSimulator
+
+    program = compile_to_program(STREAM)
+    plain = run_program(program, caches=CacheHierarchy.build(
+        icache=CacheConfig(size_bytes=4096)))
+    coupled_sim = CoupledSimulator(
+        program, paper_system("C3", 64, True),
+        caches=CacheHierarchy.build(icache=CacheConfig(size_bytes=4096)))
+    coupled_sim.run()
+    assert coupled_sim.sim.caches.icache.accesses < plain.stats.fetches

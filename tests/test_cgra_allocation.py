@@ -1,0 +1,236 @@
+"""The array allocator: dependence, resources, memory ordering, timing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cgra import Allocator, ArrayShape, HI, LO
+from repro.cgra.dataflow import (
+    dim_destinations,
+    dim_fu_class,
+    dim_sources,
+    dim_supported,
+    has_immediate,
+)
+from repro.isa.instruction import Instruction
+
+SHAPE = ArrayShape(rows=8, alus_per_row=2, mults_per_row=1, ldsts_per_row=2,
+                   alu_chain=2, immediate_slots=16)
+
+
+def alu(rd, rs, rt):
+    return Instruction("addu", rs=rs, rt=rt, rd=rd)
+
+
+def load(rt, rs, imm=0):
+    return Instruction("lw", rs=rs, rt=rt, imm=imm)
+
+
+def store(rt, rs, imm=0):
+    return Instruction("sw", rs=rs, rt=rt, imm=imm)
+
+
+# --- dataflow metadata ----------------------------------------------------
+
+def test_dim_supported_classes():
+    assert dim_supported(Instruction("addu", rd=1))
+    assert dim_supported(Instruction("sll", rd=1, shamt=2))
+    assert dim_supported(Instruction("mult"))
+    assert dim_supported(Instruction("mflo", rd=1))
+    assert dim_supported(Instruction("lw", rt=1))
+    assert dim_supported(Instruction("sw", rt=1))
+    assert not dim_supported(Instruction("div"))
+    assert not dim_supported(Instruction("jal"))
+    assert not dim_supported(Instruction("jr", rs=31))
+    assert not dim_supported(Instruction("syscall"))
+    assert not dim_supported(Instruction("beq"))
+
+
+def test_hi_lo_tracked_as_context_slots():
+    assert dim_destinations(Instruction("mult", rs=1, rt=2)) == (HI, LO)
+    assert dim_sources(Instruction("mflo", rd=3)) == (LO,)
+    assert dim_sources(Instruction("mfhi", rd=3)) == (HI,)
+    assert dim_destinations(Instruction("mthi", rs=4)) == (HI,)
+
+
+def test_zero_register_excluded_from_dataflow():
+    instr = Instruction("addu", rs=0, rt=0, rd=0)
+    assert dim_sources(instr) == ()
+    assert dim_destinations(instr) == ()
+
+
+def test_fu_classes():
+    assert dim_fu_class(Instruction("addu", rd=1)) == "alu"
+    assert dim_fu_class(Instruction("mult")) == "mult"
+    assert dim_fu_class(Instruction("lw", rt=1)) == "mem"
+    assert dim_fu_class(Instruction("mflo", rd=1)) == "alu"
+
+
+def test_immediate_detection():
+    assert has_immediate(Instruction("addiu", rs=1, rt=2, imm=4))
+    assert not has_immediate(Instruction("addiu", rs=1, rt=2, imm=0))
+    assert has_immediate(Instruction("sll", rt=1, rd=2, shamt=3))
+    assert not has_immediate(Instruction("addu", rd=1))
+    assert not has_immediate(Instruction("beq", rs=1, rt=2, imm=8))
+
+
+# --- placement ------------------------------------------------------------
+
+def test_independent_ops_share_a_line():
+    alloc = Allocator(SHAPE)
+    assert alloc.place(alu(1, 2, 3))
+    assert alloc.place(alu(4, 5, 6))
+    result = alloc.finish()
+    assert result.lines_used == 1
+
+
+def test_dependent_ops_stack_in_lines():
+    alloc = Allocator(SHAPE)
+    assert alloc.place(alu(1, 2, 3))
+    assert alloc.place(alu(4, 1, 5))   # reads r1 -> next line
+    assert alloc.place(alu(6, 4, 1))   # reads r4 -> third line
+    assert alloc.finish().lines_used == 3
+
+
+def test_line_capacity_forces_next_line():
+    alloc = Allocator(SHAPE)  # 2 ALUs per line
+    for i in range(3):
+        assert alloc.place(alu(10 + i, 1, 2))
+    assert alloc.finish().lines_used == 2
+
+
+def test_resource_exhaustion_fails_placement():
+    tiny = ArrayShape(rows=1, alus_per_row=1, mults_per_row=0,
+                      ldsts_per_row=0)
+    alloc = Allocator(tiny)
+    assert alloc.place(alu(1, 2, 3))
+    assert not alloc.place(alu(4, 5, 6))   # line full, no more rows
+    assert not alloc.place(Instruction("mult", rs=1, rt=2))  # no mult FU
+    assert alloc.count == 1
+
+
+def test_immediate_slot_exhaustion():
+    shape = ArrayShape(rows=8, alus_per_row=4, mults_per_row=1,
+                       ldsts_per_row=2, immediate_slots=2)
+    alloc = Allocator(shape)
+    assert alloc.place(Instruction("addiu", rs=1, rt=2, imm=5))
+    assert alloc.place(Instruction("addiu", rs=1, rt=3, imm=6))
+    assert not alloc.place(Instruction("addiu", rs=1, rt=4, imm=7))
+    # non-immediate ops still place
+    assert alloc.place(alu(9, 1, 2))
+
+
+def test_memory_program_order_is_monotonic():
+    alloc = Allocator(SHAPE)
+    assert alloc.place(store(1, 2, 0))
+    assert alloc.place(load(3, 4, 8))      # may share the store's line
+    assert alloc.place(store(5, 6, 16))    # never before the load's line
+    lines = {}
+    # reconstruct from result: we can only check aggregate invariants
+    result = alloc.finish()
+    assert result.mem_ops == 3
+    assert result.stores == 2
+    assert result.loads == 1
+
+
+def test_load_feeding_alu_orders_lines():
+    alloc = Allocator(SHAPE)
+    assert alloc.place(load(1, 2, 0))
+    assert alloc.place(alu(3, 1, 1))
+    assert alloc.finish().lines_used == 2
+
+
+def test_mult_consumer_through_lo():
+    alloc = Allocator(SHAPE)
+    assert alloc.place(Instruction("mult", rs=1, rt=2))
+    assert alloc.place(Instruction("mflo", rd=3))
+    assert alloc.place(alu(4, 3, 3))
+    assert alloc.finish().lines_used == 3
+
+
+def test_exec_cycles_alu_chain():
+    alloc = Allocator(SHAPE)  # alu_chain=2
+    alloc.place(alu(1, 2, 3))
+    alloc.place(alu(4, 1, 1))
+    assert alloc.exec_cycles() == 1   # two dependent ALU lines = 1 cycle
+    alloc.place(alu(5, 4, 4))
+    assert alloc.exec_cycles() == 2   # three lines -> ceil(1.5)
+
+
+def test_exec_cycles_memory_lines_cost_full_cycle():
+    alloc = Allocator(SHAPE)
+    alloc.place(load(1, 2, 0))
+    assert alloc.exec_cycles() == 1
+    alloc.place(alu(3, 1, 1))
+    assert alloc.exec_cycles() == 2   # 1 (mem line) + ceil(0.5)
+
+
+def test_inputs_and_outputs_tracking():
+    alloc = Allocator(SHAPE)
+    alloc.place(alu(1, 2, 3))      # reads 2,3 (live-in), writes 1
+    alloc.place(alu(4, 1, 5))      # reads 1 (internal), 5 (live-in)
+    result = alloc.finish()
+    assert result.inputs == frozenset({2, 3, 5})
+    assert result.outputs == frozenset({1, 4})
+
+
+def test_snapshot_restore_round_trip():
+    alloc = Allocator(SHAPE)
+    alloc.place(alu(1, 2, 3))
+    snap = alloc.snapshot()
+    alloc.place(alu(4, 1, 1))
+    alloc.place(load(5, 1, 0))
+    alloc.restore(snap)
+    result = alloc.finish()
+    assert result.num_instructions == 1
+    assert result.outputs == frozenset({1})
+    assert result.loads == 0
+
+
+def test_nop_covered_but_free():
+    alloc = Allocator(SHAPE)
+    assert alloc.place(Instruction("sll", rd=0, rt=0, shamt=0))
+    assert alloc.count == 1
+    assert alloc.finish().lines_used == 0
+
+
+def test_speculative_output_accounting():
+    alloc = Allocator(SHAPE)
+    alloc.place(alu(1, 2, 3))
+    alloc.mark_nonspec_boundary()
+    alloc.place(alu(4, 1, 1))
+    alloc.place(alu(1, 4, 4))  # rewrites r1 speculatively
+    result = alloc.finish()
+    # last write wins: both r4 (new) and r1 (re-written after the
+    # boundary) must be gated on branch resolution
+    assert result.speculative_outputs == 2
+
+
+def test_no_boundary_means_no_speculative_outputs():
+    alloc = Allocator(SHAPE)
+    alloc.place(alu(1, 2, 3))
+    alloc.place(alu(4, 1, 1))
+    assert alloc.finish().speculative_outputs == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 8), st.integers(0, 8),
+                          st.integers(0, 8)), min_size=1, max_size=40))
+def test_placement_invariants_random_alu_chains(specs):
+    """Dependences always push consumers to strictly later lines."""
+    alloc = Allocator(ArrayShape(rows=64, alus_per_row=2, mults_per_row=1,
+                                 ldsts_per_row=2))
+    writer_line = {}
+    lines_used_before = 0
+    for rd, rs, rt in specs:
+        placed = alloc.place(alu(rd, rs, rt))
+        assert placed  # 64 rows is plenty
+    result = alloc.finish()
+    assert result.num_instructions == len(
+        [s for s in specs])
+    assert result.lines_used <= 64
+    # cycles are bounded below by lines/chain and above by count
+    assert result.exec_cycles >= math.ceil(
+        result.lines_used / alloc.shape.alu_chain)
+    assert result.exec_cycles <= max(1, result.num_instructions)

@@ -1,0 +1,88 @@
+"""Configuration objects: coverage accounting, timing, description."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cgra.configuration import ConfigBlock, Configuration
+from repro.cgra.shape import ArrayShape
+from repro.dim import BimodalPredictor, DimParams, Translator
+from repro.sim import Simulator
+
+SHAPE = ArrayShape(rows=32, alus_per_row=4, mults_per_row=1,
+                   ldsts_per_row=2, rf_write_ports=2, immediate_slots=64)
+
+LOOP = """
+top:
+    addiu $t0, $t0, 1
+    addu $t1, $t1, $t0
+    xor $t2, $t1, $t0
+    sll $t3, $t2, 1
+    bne $t0, $t4, top
+"""
+
+
+def translated(source=LOOP, speculation=False, train=0):
+    sim = Simulator(assemble(source))
+    block = sim.block_at(sim.pc)
+    predictor = BimodalPredictor(64)
+    for _ in range(train):
+        predictor.update(block.branch_pc, True)
+    translator = Translator(SHAPE, DimParams(speculation=speculation),
+                            predictor, sim.block_at)
+    return translator.translate(block)
+
+
+def test_covered_instructions_counts_terminators():
+    nospec = translated()
+    assert nospec.covered_instructions == 4
+    spec = translated(speculation=True, train=3)
+    blocks = len(spec.blocks)
+    # each merged level adds 4 body instructions + 1 branch
+    assert spec.covered_instructions == 4 * blocks + (blocks - 1)
+
+
+def test_speculative_depth_and_flags():
+    nospec = translated()
+    assert nospec.speculative_depth == 0
+    assert not nospec.is_speculative
+    spec = translated(speculation=True, train=3)
+    assert spec.is_speculative
+    assert spec.speculative_depth == len(spec.blocks) - 1
+
+
+def test_exec_cycles_includes_speculative_writeback_drain():
+    nospec = translated()
+    spec = translated(speculation=True, train=3)
+    assert spec.result.speculative_outputs > 0
+    drain = -(-spec.result.speculative_outputs // SHAPE.rf_write_ports)
+    assert spec.exec_cycles == spec.result.exec_cycles + drain
+    assert nospec.exec_cycles == nospec.result.exec_cycles
+
+
+def test_reconfiguration_cycles_property():
+    config = translated()
+    expected = SHAPE.reconfiguration_cycles(len(config.result.inputs))
+    assert config.reconfiguration_cycles == expected
+
+
+def test_describe_mentions_blocks_and_timing():
+    spec = translated(speculation=True, train=3)
+    text = spec.describe()
+    assert f"config@0x{spec.start_pc:08x}" in text
+    assert "+T" in text
+    assert f"{spec.result.exec_cycles} cycles" in text
+    assert text.count("block 0x") == len(spec.blocks)
+
+
+def test_config_block_body_len():
+    sim = Simulator(assemble(LOOP))
+    block = sim.block_at(sim.pc)
+    cfg_block = ConfigBlock(block, covered=4, includes_terminator=False)
+    assert cfg_block.body_len == 4  # 5 instructions minus the branch
+
+
+def test_runtime_fields_start_clean():
+    config = translated()
+    assert config.misspec_count == 0
+    assert config.hits == 0
+    assert config.builds == 1

@@ -1,0 +1,62 @@
+"""Error quality: diagnostics carry the right location and stage."""
+
+import pytest
+
+from repro.asm import AssemblerError, assemble
+from repro.minic import CompileError, compile_to_program
+from repro.minic.lexer import LexerError, tokenize
+from repro.minic.parser import ParseError, parse
+from repro.minic.sema import SemaError, analyze
+
+
+def test_assembler_error_reports_line():
+    source = "nop\nnop\nbogus $t0\n"
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(source)
+    assert "line 3" in str(excinfo.value)
+    assert "bogus" in str(excinfo.value)
+
+
+def test_assembler_undefined_symbol_names_it():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("j nowhere\n")
+    assert "nowhere" in str(excinfo.value)
+
+
+def test_lexer_error_line():
+    with pytest.raises(LexerError) as excinfo:
+        tokenize("int x;\nint y = @;")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_parser_error_line_and_token():
+    with pytest.raises(ParseError) as excinfo:
+        parse("int main() {\n    return 1 +;\n}")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_sema_error_names_identifier():
+    with pytest.raises(SemaError) as excinfo:
+        analyze(parse("int main() {\n\n    return missing;\n}"))
+    message = str(excinfo.value)
+    assert "missing" in message
+    assert "line 3" in message
+
+
+def test_compile_error_carries_stage():
+    with pytest.raises(CompileError) as excinfo:
+        compile_to_program("int main() { return x; }")
+    assert excinfo.value.stage == "sema"
+    with pytest.raises(CompileError) as excinfo:
+        compile_to_program("int main() { return 1 +; }")
+    assert excinfo.value.stage == "parse"
+
+
+def test_codegen_error_stage_for_deep_expression():
+    expr = "1"
+    for i in range(2, 14):
+        expr = f"{i} + ({expr} * 2)"
+    with pytest.raises(CompileError) as excinfo:
+        compile_to_program(f"int main() {{ return {expr}; }}")
+    assert excinfo.value.stage == "codegen"
+    assert "temporaries" in str(excinfo.value)

@@ -1,0 +1,229 @@
+"""The translation algorithm on hand-written basic blocks."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cgra.shape import ArrayShape
+from repro.dim import BimodalPredictor, DimParams, Translator
+from repro.sim import Simulator
+
+SHAPE = ArrayShape(rows=16, alus_per_row=4, mults_per_row=1,
+                   ldsts_per_row=2, immediate_slots=32)
+
+
+def blocks_of(source):
+    """Assemble and return (simulator, block_at) with all blocks formed."""
+    program = assemble(source)
+    sim = Simulator(program)
+    return sim
+
+
+def make_translator(sim, speculation=False, predictor=None, **kwargs):
+    params = DimParams(speculation=speculation, **kwargs)
+    predictor = predictor or BimodalPredictor(64)
+
+    def provider(pc):
+        try:
+            return sim.block_at(pc)
+        except Exception:
+            return None
+
+    return Translator(SHAPE, params, predictor, provider), predictor
+
+
+def test_short_block_not_cached():
+    sim = blocks_of("""
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        jr $ra
+    """)
+    translator, _ = make_translator(sim)
+    block = sim.block_at(sim.pc)
+    assert translator.translate(block) is None  # 2 instructions < 4
+
+
+def test_basic_block_translates_without_terminator():
+    sim = blocks_of("""
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        beq $t0, $t1, 0x400000
+    """)
+    translator, _ = make_translator(sim)
+    config = translator.translate(sim.block_at(sim.pc))
+    assert config is not None
+    assert len(config.blocks) == 1
+    assert config.blocks[0].covered == 4
+    assert not config.blocks[0].includes_terminator
+    assert config.covered_instructions == 4
+
+
+def test_translation_stops_at_unsupported():
+    sim = blocks_of("""
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        addu $t3, $t0, $t1
+        div $t0, $t1
+        addu $t4, $t0, $t1
+        jr $ra
+    """)
+    translator, _ = make_translator(sim)
+    config = translator.translate(sim.block_at(sim.pc))
+    assert config.blocks[0].covered == 4  # stops before div
+
+
+def test_no_speculation_means_single_block():
+    sim = blocks_of("""
+    top:
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        bne $t0, $t1, top
+    """)
+    translator, predictor = make_translator(sim, speculation=False)
+    for _ in range(4):
+        predictor.update(sim.block_at(sim.pc).branch_pc, True)
+    config = translator.translate(sim.block_at(sim.pc))
+    assert len(config.blocks) == 1
+    assert not config.extendable
+
+
+def test_speculative_extension_requires_saturation():
+    source = """
+    top:
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        bne $t0, $t1, top
+    """
+    sim = blocks_of(source)
+    block = sim.block_at(sim.pc)
+    translator, predictor = make_translator(sim, speculation=True)
+    config = translator.translate(block)
+    assert len(config.blocks) == 1
+    assert config.extendable      # counter not saturated yet
+    predictor.update(block.branch_pc, True)
+    predictor.update(block.branch_pc, True)
+    config = translator.translate(block)
+    assert len(config.blocks) > 1
+    assert config.blocks[0].includes_terminator
+    assert config.blocks[0].expected_taken is True
+    assert config.speculative_depth >= 1
+
+
+def test_speculation_depth_limit():
+    source = """
+    top:
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        bne $t0, $t1, top
+    """
+    sim = blocks_of(source)
+    block = sim.block_at(sim.pc)
+    translator, predictor = make_translator(sim, speculation=True,
+                                            max_spec_depth=2)
+    for _ in range(3):
+        predictor.update(block.branch_pc, True)
+    config = translator.translate(block)
+    assert config.speculative_depth == 2
+    assert len(config.blocks) == 3
+
+
+def test_unconditional_jump_followed_for_free():
+    sim = blocks_of("""
+    entry:
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        j second
+    second:
+        addiu $t4, $t4, 3
+        addu $t5, $t4, $t0
+        addu $t6, $t5, $t1
+        addu $t7, $t6, $t2
+        jr $ra
+    """)
+    # make both blocks known
+    first = sim.block_at(sim.pc)
+    second = sim.block_at(sim.program.symbols["second"])
+    translator, _ = make_translator(sim, speculation=True)
+    config = translator.translate(first)
+    assert len(config.blocks) == 2
+    assert config.blocks[0].expected_taken is True
+    assert config.speculative_depth == 0   # j never mis-speculates
+    # and without speculation, j ends the configuration
+    translator, _ = make_translator(sim, speculation=False)
+    config = translator.translate(first)
+    assert len(config.blocks) == 1
+
+
+def test_all_or_nothing_extension_on_resources():
+    # successor block too large for the leftover array: extension must
+    # roll back entirely rather than cover a fragment
+    big_body = "\n".join(f"addu $t{i % 8}, $t{(i+1) % 8}, $t{(i+2) % 8}"
+                         for i in range(60))
+    sim = blocks_of(f"""
+    top:
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        bne $t0, $t1, second
+    second:
+        {big_body}
+        jr $ra
+    """)
+    first = sim.block_at(sim.pc)
+    sim.block_at(first.taken_target())
+    translator, predictor = make_translator(sim, speculation=True)
+    for _ in range(3):
+        predictor.update(first.branch_pc, True)
+    config = translator.translate(first)
+    assert len(config.blocks) == 1
+    assert not config.blocks[0].includes_terminator
+    assert not config.extendable
+
+
+def test_unknown_successor_defers_extension():
+    sim = blocks_of("""
+    top:
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, 2
+        addu $t2, $t0, $t1
+        sll $t3, $t2, 2
+        bne $t0, $t1, 0x400100
+    """)
+    block = sim.block_at(sim.pc)
+    params = DimParams(speculation=True)
+    predictor = BimodalPredictor(64)
+    translator = Translator(SHAPE, params, predictor, lambda pc: None)
+    for _ in range(3):
+        predictor.update(block.branch_pc, True)
+    config = translator.translate(block)
+    assert len(config.blocks) == 1
+    assert config.extendable   # retry once the successor is known
+
+
+def test_reconfiguration_cycles_scale_with_inputs():
+    sim = blocks_of("""
+        addu $t0, $s0, $s1
+        addu $t1, $s2, $s3
+        addu $t2, $s4, $s5
+        addu $t3, $s6, $s7
+        addu $t4, $a0, $a1
+        addu $t5, $a2, $a3
+        addu $t6, $v0, $v1
+        jr $ra
+    """)
+    translator, _ = make_translator(sim)
+    config = translator.translate(sim.block_at(sim.pc))
+    assert len(config.result.inputs) == 14
+    # 1 cache-read cycle + ceil(14/6) operand-fetch cycles
+    assert config.reconfiguration_cycles == 1 + 3

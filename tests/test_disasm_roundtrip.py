@@ -1,0 +1,71 @@
+"""Property: disassembled programs re-assemble to identical binaries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.asm.disassembler import disassemble_program
+from repro.asm.program import Program
+from repro.isa import OPCODES, Instruction, encode
+from repro.isa.opcodes import Format, InstrClass
+
+#: mnemonics whose textual form is position-independent (branch/jump
+#: targets render as absolute addresses and need in-range values, so we
+#: exercise them separately with controlled offsets).
+_STRAIGHT = sorted(
+    m for m, info in OPCODES.items()
+    if not info.is_control and info.klass is not InstrClass.SYSCALL)
+
+
+@st.composite
+def straight_instructions(draw):
+    """Canonically-encoded instructions: don't-care fields stay zero,
+    since assembly text cannot carry them."""
+    mnemonic = draw(st.sampled_from(_STRAIGHT))
+    info = OPCODES[mnemonic]
+    reg = st.integers(0, 31)
+    if info.fmt is Format.R:
+        fields = {"rs": 0, "rt": 0, "rd": 0, "shamt": 0}
+        if mnemonic in ("sll", "srl", "sra"):
+            fields.update(rt=draw(reg), rd=draw(reg),
+                          shamt=draw(st.integers(0, 31)))
+        elif mnemonic in ("mfhi", "mflo"):
+            fields.update(rd=draw(reg))
+        elif mnemonic in ("mthi", "mtlo"):
+            fields.update(rs=draw(reg))
+        elif mnemonic in ("mult", "multu", "div", "divu"):
+            fields.update(rs=draw(reg), rt=draw(reg))
+        else:
+            fields.update(rs=draw(reg), rt=draw(reg), rd=draw(reg))
+        return Instruction(mnemonic, **fields)
+    imm = draw(st.integers(-32768, 32767)) if info.signed_imm \
+        else draw(st.integers(0, 0xFFFF))
+    rs = 0 if mnemonic == "lui" else draw(reg)
+    return Instruction(mnemonic, rs=rs, rt=draw(reg), imm=imm)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(straight_instructions(), min_size=1, max_size=30))
+def test_disassemble_reassemble_identity(instrs):
+    text = b"".join(encode(i).to_bytes(4, "little") for i in instrs)
+    program = Program(text=text, data=b"", entry=0x00400000)
+    lines = disassemble_program(program)
+    body = "\n".join(line.split(":", 1)[1] for line in lines)
+    again = assemble(body)
+    assert again.text == program.text
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(-30, 30).filter(lambda d: d != 0),
+       st.sampled_from(["beq", "bne", "blez", "bgtz", "bltz", "bgez"]))
+def test_branch_disassembly_reassembles(delta, mnemonic):
+    pad_before = [Instruction("sll")] * 32
+    rt = 2 if mnemonic in ("beq", "bne") else 0
+    branch = Instruction(mnemonic, rs=1, rt=rt, imm=delta)
+    pad_after = [Instruction("sll")] * 32
+    instrs = pad_before + [branch] + pad_after
+    text = b"".join(encode(i).to_bytes(4, "little") for i in instrs)
+    program = Program(text=text, data=b"", entry=0x00400000)
+    lines = disassemble_program(program)
+    body = "\n".join(line.split(":", 1)[1] for line in lines)
+    again = assemble(body)
+    assert again.text == program.text

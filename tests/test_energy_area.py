@@ -1,0 +1,153 @@
+"""Energy and area models (Figures 5/6, Table 3)."""
+
+import pytest
+
+from repro.cgra.shape import ArrayShape
+from repro.system import PAPER_SHAPES, paper_system
+from repro.system.area import (
+    AreaParams,
+    area_report,
+    cache_bytes,
+    config_bits_report,
+)
+from repro.system.energy import (
+    EnergyParams,
+    energy_of,
+    energy_ratio,
+    iso_performance_energy_ratio,
+)
+from repro.system.traceeval import SystemMetrics
+from repro.dim.engine import DimStats
+
+
+def mips_metrics():
+    return SystemMetrics(name="mips", cycles=1000, instructions=900,
+                         fetches=900, loads=100, stores=50, branches=90)
+
+
+def dim_metrics():
+    dim = DimStats(array_executions=40, array_alu_ops=300,
+                   array_mult_ops=20, array_mem_ops=80, array_cycles=120,
+                   array_line_cycles=1200,
+                   array_potential_line_cycles=5760,
+                   translations=10, translated_instructions=200,
+                   config_writes=8)
+    return SystemMetrics(name="dim", cycles=500, instructions=900,
+                         fetches=400, loads=100, stores=50, branches=90,
+                         dim=dim)
+
+
+def test_energy_breakdown_sums():
+    breakdown = energy_of(mips_metrics())
+    assert breakdown.total == pytest.approx(
+        breakdown.core + breakdown.imem + breakdown.dmem
+        + breakdown.array + breakdown.bt)
+    assert breakdown.array == 0.0
+    assert breakdown.bt == 0.0
+
+
+def test_dim_energy_has_array_and_bt_components():
+    breakdown = energy_of(dim_metrics())
+    assert breakdown.array > 0
+    assert breakdown.bt > 0
+    power = breakdown.component_power()
+    assert set(power) == {"core", "imem", "dmem", "array", "bt"}
+    assert power["core"] == pytest.approx(EnergyParams().core_cycle)
+
+
+def test_energy_ratio_favours_accelerated_run():
+    ratio = energy_ratio(mips_metrics(), dim_metrics())
+    # half the cycles and fetches should save energy even after paying
+    # for the array
+    assert ratio > 1.0
+
+
+def test_fewer_fetches_save_imem_energy():
+    base = energy_of(mips_metrics())
+    accel = energy_of(dim_metrics())
+    assert accel.imem < base.imem
+
+
+def test_fu_gating_reduces_array_energy():
+    plain = energy_of(dim_metrics())
+    gated = energy_of(dim_metrics(), EnergyParams(fu_gating=True))
+    assert gated.array < plain.array
+    assert gated.core == plain.core
+
+
+def test_iso_performance_scaling():
+    """Section 5.3's closing claim: trading the 2x speedup for frequency
+    (and voltage) multiplies the energy saving by ~speedup^2."""
+    base, accel = mips_metrics(), dim_metrics()
+    plain_ratio = energy_ratio(base, accel)
+    iso = iso_performance_energy_ratio(base, accel)
+    speedup = base.cycles / accel.cycles
+    assert iso == pytest.approx(plain_ratio * speedup ** 2)
+    linear = iso_performance_energy_ratio(base, accel,
+                                          voltage_exponent=1.0)
+    assert plain_ratio < linear < iso
+
+
+# --- area -------------------------------------------------------------------
+
+def test_area_c1_reproduces_paper_unit_counts():
+    report = area_report(PAPER_SHAPES["C1"])
+    by_unit = report.as_dict()
+    assert by_unit["ALU"].count == 192
+    assert by_unit["Multiplier"].count == 6
+    assert by_unit["LD/ST"].count == 36
+    assert by_unit["Input Mux"].count == 408
+    assert by_unit["Output Mux"].count == 216
+
+
+def test_area_c1_total_matches_paper_magnitude():
+    report = area_report(PAPER_SHAPES["C1"])
+    # paper: 664,102 gates, ~2.66M transistors
+    assert report.total_gates == pytest.approx(664_102, rel=0.02)
+    assert report.transistors() == pytest.approx(2_656_408, rel=0.02)
+
+
+def test_area_scales_with_shape():
+    small = area_report(PAPER_SHAPES["C1"]).total_gates
+    large = area_report(PAPER_SHAPES["C2"]).total_gates
+    assert large > small
+
+
+def test_config_bits_c1_against_paper():
+    bits = config_bits_report(ArrayShape(rows=24, alus_per_row=8,
+                                         mults_per_row=1, ldsts_per_row=2,
+                                         alu_chain=3, immediate_slots=4))
+    assert bits.write_bitmap == 256        # paper: 256
+    assert bits.reads_table == 1632        # paper: 1632
+    assert bits.context_start == 40        # paper: 40
+    assert bits.immediate_table == 128     # paper: 128 (4 immediates)
+    # resource/writes tables are approximations; stay within 15%
+    assert bits.resource_table == pytest.approx(786, rel=0.15)
+    assert bits.writes_table == pytest.approx(576, rel=0.15)
+    assert bits.stored_bits > 0
+    assert bits.write_bitmap not in (None, 0)
+
+
+def test_cache_bytes_linear_in_slots():
+    shape = PAPER_SHAPES["C1"]
+    sizes = [cache_bytes(shape, slots) for slots in (2, 4, 8, 16)]
+    assert all(b < c for b, c in zip(sizes, sizes[1:]))
+    assert sizes[1] == pytest.approx(2 * sizes[0], rel=0.01)
+    assert sizes[3] == pytest.approx(8 * sizes[0], rel=0.01)
+
+
+def test_paper_system_shapes():
+    assert PAPER_SHAPES["C1"].columns == 11
+    assert PAPER_SHAPES["C2"].columns == 16
+    assert PAPER_SHAPES["C3"].columns == 20
+    config = paper_system("C2", 64, True)
+    assert config.dim.cache_slots == 64
+    assert config.dim.speculation
+    assert "C2" in config.name
+    ideal = paper_system("ideal")
+    assert ideal.dim.cache_slots >= 1 << 20
+
+
+def test_paper_system_rejects_unknown_array():
+    with pytest.raises(KeyError):
+        paper_system("C9")

@@ -1,0 +1,50 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "speedup" in out
+    assert "same binary, same results" in out
+    assert "0xc6318b18" in out
+
+
+def test_inspect_configuration(capsys):
+    out = run_example("inspect_configuration.py", capsys)
+    assert "without speculation" in out
+    assert "with speculation" in out
+    assert "[M] mult" in out
+    assert out.count("config@") == 2
+
+
+def test_accelerated_crypto(capsys):
+    out = run_example("accelerated_crypto.py", capsys)
+    assert "sha 1497999546" in out
+    assert "C3/64/spec" in out
+    assert "energy breakdown" in out
+
+
+@pytest.mark.slow
+def test_heterogeneous_device(capsys):
+    out = run_example("heterogeneous_device.py", capsys)
+    assert "whole device" in out
+    assert "transparently" in out
+
+
+@pytest.mark.slow
+def test_design_space(capsys):
+    out = run_example("design_space.py", capsys)
+    assert "speedup surface" in out
+    assert "192 lines" in out

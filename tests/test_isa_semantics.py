@@ -1,0 +1,130 @@
+"""Functional semantics versus independent Python references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.semantics import (
+    alu_result,
+    branch_taken,
+    div_result,
+    mult_result,
+    to_signed,
+    to_unsigned,
+)
+
+u32 = st.integers(0, 0xFFFFFFFF)
+
+
+@given(u32)
+def test_signed_unsigned_round_trip(value):
+    assert to_unsigned(to_signed(value)) == value
+    assert -(1 << 31) <= to_signed(value) < (1 << 31)
+
+
+@given(u32, u32)
+def test_addu_wraps(a, b):
+    instr = Instruction("addu", rs=1, rt=2, rd=3)
+    assert alu_result(instr, a, b) == (a + b) % (1 << 32)
+
+
+@given(u32, u32)
+def test_subu_wraps(a, b):
+    instr = Instruction("subu", rs=1, rt=2, rd=3)
+    assert alu_result(instr, a, b) == (a - b) % (1 << 32)
+
+
+@given(u32, u32)
+def test_logic_ops(a, b):
+    assert alu_result(Instruction("and", rd=1), a, b) == a & b
+    assert alu_result(Instruction("or", rd=1), a, b) == a | b
+    assert alu_result(Instruction("xor", rd=1), a, b) == a ^ b
+    assert alu_result(Instruction("nor", rd=1), a, b) == (~(a | b)) % (1 << 32)
+
+
+@given(u32, u32)
+def test_set_less_than(a, b):
+    assert alu_result(Instruction("slt", rd=1), a, b) == \
+        int(to_signed(a) < to_signed(b))
+    assert alu_result(Instruction("sltu", rd=1), a, b) == int(a < b)
+
+
+@given(u32, st.integers(0, 31))
+def test_shifts_by_shamt(a, shamt):
+    assert alu_result(Instruction("sll", rd=1, shamt=shamt), 0, a) == \
+        (a << shamt) % (1 << 32)
+    assert alu_result(Instruction("srl", rd=1, shamt=shamt), 0, a) == a >> shamt
+    expected = to_unsigned(to_signed(a) >> shamt)
+    assert alu_result(Instruction("sra", rd=1, shamt=shamt), 0, a) == expected
+
+
+@given(u32, u32)
+def test_variable_shifts_use_low_five_bits(a, b):
+    shamt = a & 31
+    assert alu_result(Instruction("sllv", rd=1), a, b) == \
+        (b << shamt) % (1 << 32)
+    assert alu_result(Instruction("srlv", rd=1), a, b) == b >> shamt
+
+
+def test_lui_shifts_immediate():
+    assert alu_result(Instruction("lui", rt=1, imm=0x1234), 0, 0x1234) == \
+        0x12340000
+
+
+@given(u32, u32)
+def test_mult_signed(a, b):
+    hi, lo = mult_result("mult", a, b)
+    product = (to_signed(a) * to_signed(b)) % (1 << 64)
+    assert (hi << 32) | lo == product
+
+
+@given(u32, u32)
+def test_multu_unsigned(a, b):
+    hi, lo = mult_result("multu", a, b)
+    assert (hi << 32) | lo == a * b
+
+
+@given(u32, u32)
+def test_div_signed_matches_c_semantics(a, b):
+    hi, lo = div_result("div", a, b)
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        assert (hi, lo) == (to_unsigned(sa), 0)
+    else:
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        remainder = sa - quotient * sb
+        assert lo == to_unsigned(quotient)
+        assert hi == to_unsigned(remainder)
+        # the C invariant: (a/b)*b + a%b == a  (mod 2^32)
+        assert to_unsigned(to_signed(lo) * sb + to_signed(hi)) == a
+
+
+@given(u32, u32)
+def test_divu_unsigned(a, b):
+    hi, lo = div_result("divu", a, b)
+    if b == 0:
+        assert (hi, lo) == (a, 0)
+    else:
+        assert lo == a // b
+        assert hi == a % b
+
+
+@given(u32, u32)
+def test_branch_semantics(a, b):
+    assert branch_taken("beq", a, b) == (a == b)
+    assert branch_taken("bne", a, b) == (a != b)
+    assert branch_taken("blez", a) == (to_signed(a) <= 0)
+    assert branch_taken("bgtz", a) == (to_signed(a) > 0)
+    assert branch_taken("bltz", a) == (to_signed(a) < 0)
+    assert branch_taken("bgez", a) == (to_signed(a) >= 0)
+
+
+def test_non_alu_instruction_rejected():
+    with pytest.raises(ValueError):
+        alu_result(Instruction("lw", rs=1, rt=2), 0, 0)
+    with pytest.raises(ValueError):
+        mult_result("div", 1, 2)
+    with pytest.raises(ValueError):
+        branch_taken("jal", 0, 0)

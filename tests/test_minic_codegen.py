@@ -1,0 +1,122 @@
+"""Code-generation quality: the mini-C compiler must emit the idioms the
+DIM evaluation depends on (immediate forms, direct branches, rotated
+loops), and fail loudly where its simple model runs out."""
+
+import pytest
+
+from repro.minic import CompileError, compile_source, compile_to_program
+from repro.sim import run_program
+
+
+def asm_of(source: str) -> str:
+    return compile_source(source)
+
+
+def test_constant_operands_use_immediate_forms():
+    asm = asm_of("int main() { int x = 5; x = x + 7; x = x & 15;"
+                 " x = x << 3; return x; }")
+    assert "addiu" in asm
+    assert "andi" in asm
+    assert "sll" in asm
+    # no register-register add for the +7
+    assert asm.count("addu $t0, $t0, $t1") == 0
+
+
+def test_conditions_compile_to_direct_branches():
+    asm = asm_of("""
+    int main() {
+        int a = 1; int b = 2;
+        if (a == b) { return 1; }
+        if (a < b) { return 2; }
+        return 0;
+    }
+    """)
+    # equality inverts into bne-to-else; relational uses slt + branch
+    assert "bne $t0, $t1" in asm
+    assert "slt $t8" in asm
+    assert "beq $t8, $zero" in asm
+    # no materialised booleans (seq/sltiu) for plain conditions
+    assert "sltiu" not in asm
+
+
+def test_loops_are_rotated():
+    asm = asm_of("""
+    int main() {
+        int i;
+        int n = 0;
+        for (i = 0; i < 10; i++) { n += i; }
+        return n;
+    }
+    """)
+    # rotated form: conditional back-edge at the bottom, no
+    # unconditional jump in the steady-state loop
+    body = asm.split("Lfor_")[1]
+    assert "bne $t8, $zero, Lfor" in asm or "bne" in body
+    # the loop body contains no `j` back to the top
+    steady = asm[asm.index("Lfor_"):asm.index("Lendfor")]
+    assert "\n        j L" not in steady
+
+
+def test_signedness_selects_instructions():
+    signed = asm_of("int main() { int a = -4; return a >> 1; }")
+    assert "sra" in signed
+    unsigned = asm_of("unsigned u = 8;\nint main() { return u >> 1; }")
+    assert "srl" in unsigned
+    signed_div = asm_of("int main() { int a = 9; return a / 2; }")
+    assert "div" in signed_div and "divu" not in signed_div
+    unsigned_div = asm_of("unsigned u = 9;\nint main() { return u / 2; }")
+    assert "divu" in unsigned_div
+
+
+def test_char_arrays_use_byte_accesses():
+    asm = asm_of('char buf[8];\nint main() { buf[1] = 65;'
+                 ' return buf[1]; }')
+    assert "sb" in asm
+    assert "lbu" in asm
+
+
+def test_expression_too_deep_raises():
+    # force more than 8 live temporaries with a deep right-leaning tree
+    expr = "1"
+    for i in range(2, 14):
+        expr = f"{i} + ({expr} * 2)"
+    with pytest.raises(CompileError):
+        compile_source(f"int main() {{ return {expr}; }}")
+
+
+def test_left_leaning_expressions_stay_shallow():
+    # left-associative chains reuse one temp and must compile fine
+    expr = " + ".join(str(i) for i in range(1, 64))
+    program = compile_to_program(f"int main() {{ print_int({expr});"
+                                 " return 0; }")
+    result = run_program(program)
+    assert result.output == str(sum(range(1, 64)))
+
+
+def test_frame_allocates_param_homes_and_saves_ra():
+    asm = asm_of("""
+    int f(int a, int b) { return a + b; }
+    int main() { return f(1, 2); }
+    """)
+    f_body = asm[asm.index("f_f:"):asm.index("Lret_f")]
+    assert "sw $ra, 0($sp)" in f_body
+    assert "sw $a0," in f_body
+    assert "sw $a1," in f_body
+
+
+def test_globals_emit_data_section():
+    asm = asm_of("int g = 7;\nint arr[3] = {1, 2, 3};\n"
+                 'char msg[] = "hi";\nint main() { return g; }')
+    assert ".data" in asm
+    assert "g_g:" in asm
+    assert ".word 7" in asm
+    assert ".word 1, 2, 3" in asm
+    # char array payload as bytes (with NUL)
+    assert ".byte 104, 105, 0" in asm
+
+
+def test_string_pool_deduplicates():
+    asm = asm_of('int main() { print_str("x"); print_str("x");'
+                 ' print_str("y"); return 0; }')
+    assert asm.count('.asciiz "x"') == 1
+    assert asm.count('.asciiz "y"') == 1

@@ -1,0 +1,237 @@
+"""mini-C end-to-end: compile, run, compare with Python-evaluated results."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic import compile_to_program
+from repro.sim import run_program
+
+
+def run_main(body: str, prelude: str = ""):
+    source = prelude + "\nint main() {\n" + body + "\n}\n"
+    return run_program(compile_to_program(source))
+
+
+def returns(body: str, prelude: str = "") -> int:
+    return run_main("return ({});".format(body) if False else body,
+                    prelude).exit_code
+
+
+def eval_expr(expr: str, prelude: str = "") -> str:
+    result = run_main(f"print_int({expr}); return 0;", prelude)
+    assert result.exit_code == 0
+    return result.output
+
+
+def test_constants_and_arithmetic():
+    assert eval_expr("(2 + 3) * 4 - 6 / 2") == "17"
+    assert eval_expr("17 % 5") == "2"
+    assert eval_expr("-7 / 2") == "-3"   # C truncation toward zero
+    assert eval_expr("-7 % 2") == "-1"
+
+
+def test_bitwise_and_shifts():
+    assert eval_expr("(0xF0 | 0x0F) & 0x3C") == "60"
+    assert eval_expr("1 << 10") == "1024"
+    assert eval_expr("-16 >> 2") == "-4"          # arithmetic shift
+    assert eval_expr("~0") == "-1"
+    assert eval_expr("5 ^ 3") == "6"
+
+
+def test_unsigned_semantics():
+    prelude = "unsigned u = 0xFFFFFFFF;\nunsigned v = 2;\n"
+    assert eval_expr("u / v", prelude) == str(0xFFFFFFFF // 2)
+    assert eval_expr("u >> 4", prelude) == str(0xFFFFFFFF >> 4)
+    assert eval_expr("u > v", prelude) == "1"     # unsigned compare
+    prelude_signed = "int s = -1;\nint t = 2;\n"
+    assert eval_expr("s > t", prelude_signed) == "0"
+
+
+def test_comparisons_and_logic():
+    assert eval_expr("1 < 2") == "1"
+    assert eval_expr("2 <= 1") == "0"
+    assert eval_expr("3 == 3 && 4 != 5") == "1"
+    assert eval_expr("0 || 2") == "1"
+    assert eval_expr("!5") == "0"
+    assert eval_expr("!0") == "1"
+
+
+def test_short_circuit_effects():
+    # the second operand must not run when the first decides
+    result = run_main("""
+        int hits = 0;
+        if (0 && side(1)) { hits = 99; }
+        if (1 || side(2)) { hits = hits + 1; }
+        print_int(hits + counter);
+        return 0;
+    """, prelude="""
+    int counter = 0;
+    int side(int v) { counter = counter + 100; return v; }
+    """)
+    assert result.output == "1"
+
+
+def test_if_else_chains():
+    result = run_main("""
+        int x = 7;
+        if (x < 5) { print_int(1); }
+        else if (x < 10) { print_int(2); }
+        else { print_int(3); }
+        return 0;
+    """)
+    assert result.output == "2"
+
+
+def test_loops_break_continue():
+    result = run_main("""
+        int i;
+        int total = 0;
+        for (i = 0; i < 10; i++) {
+            if (i == 3) { continue; }
+            if (i == 7) { break; }
+            total += i;
+        }
+        print_int(total);  // 0+1+2+4+5+6 = 18
+        return 0;
+    """)
+    assert result.output == "18"
+
+
+def test_do_while_runs_once():
+    result = run_main("""
+        int n = 0;
+        do { n++; } while (n < 0);
+        print_int(n);
+        return 0;
+    """)
+    assert result.output == "1"
+
+
+def test_while_loop_zero_iterations():
+    result = run_main("""
+        int n = 5;
+        while (n < 0) { n++; }
+        print_int(n);
+        return 0;
+    """)
+    assert result.output == "5"
+
+
+def test_nested_loops():
+    result = run_main("""
+        int i; int j; int total = 0;
+        for (i = 0; i < 4; i++) {
+            for (j = 0; j <= i; j++) {
+                total += j;
+            }
+        }
+        print_int(total);  // 0 + 1 + 3 + 6 = 10
+        return 0;
+    """)
+    assert result.output == "10"
+
+
+def test_global_and_local_arrays():
+    result = run_main("""
+        int i;
+        int local[5];
+        for (i = 0; i < 5; i++) { local[i] = i * i; }
+        for (i = 0; i < 5; i++) { g[i] = local[4 - i]; }
+        print_int(g[0] + g[4] * 10);
+        return 0;
+    """, prelude="int g[5];")
+    assert result.output == "16"
+
+
+def test_char_arrays_are_bytes():
+    result = run_main("""
+        buf[0] = 300;        // truncates to 44
+        print_int(buf[0]);
+        print_char(',');
+        print_int(msg[1]);
+        return 0;
+    """, prelude='char buf[4];\nchar msg[4] = "AB";')
+    assert result.output == "44,66"
+
+
+def test_recursion_ackermann_style():
+    result = run_main("print_int(ack(2, 3)); return 0;", prelude="""
+    int ack(int m, int n) {
+        if (m == 0) { return n + 1; }
+        if (n == 0) { return ack(m - 1, 1); }
+        return ack(m - 1, ack(m, n - 1));
+    }
+    """)
+    assert result.output == "9"
+
+
+def test_array_parameters_alias():
+    result = run_main("""
+        data[0] = 1;
+        bump(data, 3);
+        print_int(data[0]);
+        return 0;
+    """, prelude="""
+    int data[4];
+    void bump(int a[], int by) { a[0] = a[0] + by; }
+    """)
+    assert result.output == "4"
+
+
+def test_compound_assignment_all_ops():
+    result = run_main("""
+        int x = 100;
+        x += 5; x -= 1; x *= 2; x /= 4; x %= 13;
+        x <<= 3; x >>= 1; x |= 0x10; x &= 0x1F; x ^= 3;
+        print_int(x);
+        return 0;
+    """)
+    x = 100
+    x += 5; x -= 1; x *= 2; x //= 4; x %= 13
+    x <<= 3; x >>= 1; x |= 0x10; x &= 0x1F; x ^= 3
+    assert result.output == str(x)
+
+
+def test_call_preserves_live_temporaries():
+    # f() is called while a temporary holds 10; the temp must survive
+    result = run_main("print_int(10 + f(1) + f(2)); return 0;", prelude="""
+    int f(int x) { return x * x; }
+    """)
+    assert result.output == "15"
+
+
+def test_exit_builtin():
+    result = run_main("exit(7); return 0;")
+    assert result.exit_code == 7
+
+
+def test_print_str_builtin():
+    result = run_main('print_str("ab\\n"); return 0;')
+    assert result.output == "ab\n"
+
+
+_INT = st.integers(-(2**31), 2**31 - 1)
+
+
+@settings(max_examples=12, deadline=None)
+@given(_INT, _INT, st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+def test_random_binary_ops_match_python(a, b, op):
+    expected = {"+": a + b, "-": a - b, "*": a * b,
+                "&": a & b, "|": a | b, "^": a ^ b}[op] & 0xFFFFFFFF
+    if expected >= 2**31:
+        expected -= 2**32
+    out = eval_expr(f"x {op} y", prelude=f"int x = {a};\nint y = {b};\n")
+    assert out == str(expected)
+
+
+@settings(max_examples=8, deadline=None)
+@given(_INT, st.integers(0, 31))
+def test_random_shifts_match_python(a, shift):
+    left = (a << shift) & 0xFFFFFFFF
+    if left >= 2**31:
+        left -= 2**32
+    out = eval_expr(f"x << {shift}", prelude=f"int x = {a};\n")
+    assert out == str(left)
+    right = a >> shift  # python's >> on signed ints is arithmetic
+    out = eval_expr(f"x >> {shift}", prelude=f"int x = {a};\n")
+    assert out == str(right)

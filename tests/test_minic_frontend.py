@@ -1,0 +1,231 @@
+"""mini-C lexer, parser and semantic analysis."""
+
+import pytest
+
+from repro.minic import LexerError, ParseError, SemaError, analyze, parse
+from repro.minic.astnodes import (
+    AssignStmt,
+    BinaryExpr,
+    ForStmt,
+    IfStmt,
+    NumExpr,
+    ReturnStmt,
+    WhileStmt,
+)
+from repro.minic.lexer import tokenize
+
+
+# --- lexer ---------------------------------------------------------------
+
+def test_tokens_basic():
+    tokens = tokenize("int x = 0x1F + 'a'; // comment")
+    kinds = [(t.kind, t.text) for t in tokens[:-1]]
+    assert kinds == [("kw", "int"), ("ident", "x"), ("op", "="),
+                     ("num", "0x1F"), ("op", "+"), ("num", "'a'"),
+                     ("op", ";")]
+    assert tokens[3].value == 31
+    assert tokens[5].value == 97
+
+
+def test_maximal_munch_operators():
+    tokens = tokenize("a <<= b >> c >= d == e ++f")
+    texts = [t.text for t in tokens if t.kind == "op"]
+    assert texts == ["<<=", ">>", ">=", "==", "++"]
+
+
+def test_block_comments_track_lines():
+    tokens = tokenize("/* line1\nline2 */ int x;")
+    assert tokens[0].line == 2
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\n\t\\"')
+    assert tokens[0].text == "a\n\t\\"
+
+
+def test_lexer_errors():
+    with pytest.raises(LexerError):
+        tokenize("int x = @;")
+    with pytest.raises(LexerError):
+        tokenize('"unterminated')
+    with pytest.raises(LexerError):
+        tokenize("/* forever")
+    with pytest.raises(LexerError):
+        tokenize("'ab'")
+
+
+# --- parser --------------------------------------------------------------
+
+def test_precedence_shapes_tree():
+    unit = parse("int main() { return 1 + 2 * 3; }")
+    ret = unit.functions[0].body[0]
+    assert isinstance(ret, ReturnStmt)
+    expr = ret.value
+    assert isinstance(expr, BinaryExpr) and expr.op == "+"
+    assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+
+def test_comparison_binds_tighter_than_logical():
+    unit = parse("int main() { return 1 < 2 && 3 == 3; }")
+    expr = unit.functions[0].body[0].value
+    assert expr.op == "&&"
+    assert expr.left.op == "<"
+    assert expr.right.op == "=="
+
+
+def test_control_flow_statements():
+    unit = parse("""
+    int main() {
+        int i;
+        for (i = 0; i < 4; i++) {
+            if (i == 2) { continue; } else { i += 1; }
+        }
+        while (i > 0) { i--; }
+        do { i = i + 1; } while (i < 3);
+        return i;
+    }
+    """)
+    body = unit.functions[0].body
+    assert isinstance(body[1], ForStmt)
+    assert isinstance(body[1].body[0], IfStmt)
+    assert isinstance(body[2], WhileStmt) and not body[2].is_do
+    assert isinstance(body[3], WhileStmt) and body[3].is_do
+
+
+def test_global_initializers():
+    unit = parse("""
+    int scalar = 5;
+    int folded = 3 * 4 + (1 << 2);
+    int arr[4] = {1, 2, 3, 4};
+    int sized[] = {9, 9};
+    char text[] = "hi";
+    unsigned big[8];
+    """)
+    byname = {g.name: g for g in unit.globals}
+    assert byname["scalar"].init == 5
+    assert byname["folded"].init == 16
+    assert byname["sized"].type.array == 2
+    assert byname["text"].type.array == 3  # includes the NUL
+    assert byname["big"].init is None
+
+
+def test_assignment_forms():
+    unit = parse("int g; int a[3]; int main() { g = 1; a[0] += 2; g++; return 0; }")
+    body = unit.functions[0].body
+    assert isinstance(body[0], AssignStmt) and body[0].op == ""
+    assert isinstance(body[1], AssignStmt) and body[1].op == "+"
+    assert isinstance(body[2], AssignStmt) and body[2].op == "+"
+    assert isinstance(body[2].value, NumExpr)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("int main() { return 1 + ; }")
+    with pytest.raises(ParseError):
+        parse("int main() { 3 = x; }")
+    with pytest.raises(ParseError):
+        parse("int main() { if (1) return 0 }")
+    with pytest.raises(ParseError):
+        parse("int a[2] = {1, 2, 3, \"x\"};")
+    with pytest.raises(ParseError):
+        parse("int g = f();")  # calls are not constant expressions
+
+
+# --- sema ----------------------------------------------------------------
+
+def analyze_src(src):
+    return analyze(parse(src))
+
+
+def test_sema_requires_main():
+    with pytest.raises(SemaError):
+        analyze_src("int f() { return 0; }")
+
+
+def test_sema_rejects_undeclared():
+    with pytest.raises(SemaError):
+        analyze_src("int main() { return x; }")
+
+
+def test_sema_rejects_duplicate_local():
+    with pytest.raises(SemaError):
+        analyze_src("int main() { int x; int x; return 0; }")
+
+
+def test_sema_rejects_bad_call_arity():
+    with pytest.raises(SemaError):
+        analyze_src("""
+        int f(int a, int b) { return a + b; }
+        int main() { return f(1); }
+        """)
+
+
+def test_sema_rejects_too_many_params():
+    with pytest.raises(SemaError):
+        analyze_src("int f(int a, int b, int c, int d, int e) { return 0; }"
+                    "int main() { return 0; }")
+
+
+def test_sema_rejects_array_assignment():
+    with pytest.raises(SemaError):
+        analyze_src("int a[4]; int main() { a = 1; return 0; }")
+
+
+def test_sema_rejects_indexing_scalar():
+    with pytest.raises(SemaError):
+        analyze_src("int x; int main() { return x[0]; }")
+
+
+def test_sema_rejects_break_outside_loop():
+    with pytest.raises(SemaError):
+        analyze_src("int main() { break; return 0; }")
+
+
+def test_sema_rejects_array_arg_for_scalar_value():
+    with pytest.raises(SemaError):
+        analyze_src("""
+        int f(int a[]) { return a[0]; }
+        int x;
+        int main() { return f(x); }
+        """)
+
+
+def test_sema_rejects_void_returning_value():
+    with pytest.raises(SemaError):
+        analyze_src("void f() { return 1; } int main() { return 0; }")
+
+
+def test_sema_unsigned_propagation():
+    info = analyze_src("""
+    unsigned u;
+    int s;
+    int main() { return u + s < 3; }
+    """)
+    expr = info.unit.functions[0].body[0].value
+    assert expr.op == "<"
+    assert expr.unsigned          # comparison inherits unsignedness
+    assert expr.left.unsigned     # u + s is unsigned
+
+
+def test_sema_frame_layout_distinct_offsets():
+    info = analyze_src("""
+    int f(int a, int b) {
+        int x;
+        int buf[4];
+        int y;
+        return a + b + x + y;
+    }
+    int main() { return f(1, 2); }
+    """)
+    func = info.functions["f"]
+    offsets = [func.symbols[n].offset for n in ("a", "b", "x", "buf", "y")]
+    assert len(set(offsets)) == 5
+    assert func.symbols["y"].offset >= func.symbols["buf"].offset + 16
+    assert func.frame_size % 8 == 0
+
+
+def test_sema_string_only_in_print_str():
+    with pytest.raises(SemaError):
+        analyze_src('int main() { return "nope" + 1; }')
+    with pytest.raises(SemaError):
+        analyze_src('int main() { print_int("nope"); return 0; }')

@@ -1,0 +1,80 @@
+"""Internal consistency of the transcribed paper data.
+
+The benchmark harnesses compare against numbers transcribed from the
+paper; these tests validate the transcription itself — most importantly
+that the per-benchmark Table 2 rows reproduce the paper's own printed
+"Average" row to rounding precision in all 20 columns.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+from paper_data import (  # noqa: E402
+    PAPER_FIG3B_VALUES,
+    PAPER_TABLE2,
+    PAPER_TABLE2_AVERAGE,
+    PAPER_TABLE3A,
+    PAPER_TABLE3A_TOTAL,
+    PAPER_TABLE3B,
+    PAPER_TABLE3B_TOTAL,
+    PAPER_TABLE3C,
+)
+from repro.workloads import workload_names  # noqa: E402
+
+
+def test_table2_covers_all_workloads():
+    assert set(PAPER_TABLE2) == set(workload_names())
+    for row in PAPER_TABLE2.values():
+        for array in ("C1", "C2", "C3"):
+            for spec in (False, True):
+                assert len(row[(array, spec)]) == 3
+        assert len(row["ideal"]) == 2
+
+
+def test_table2_rows_reproduce_papers_average_row():
+    """All 20 columns of the paper's Average row match the mean of the
+    transcribed per-benchmark values within rounding (±0.01)."""
+    names = list(PAPER_TABLE2)
+    for key, expected in PAPER_TABLE2_AVERAGE.items():
+        width = 2 if key == "ideal" else 3
+        for i in range(width):
+            values = [PAPER_TABLE2[name][key][i] for name in names]
+            mean = sum(values) / len(values)
+            assert mean == pytest.approx(expected[i], abs=0.011), \
+                f"column {key}[{i}]"
+
+
+def test_table2_speedups_are_plausible():
+    for name, row in PAPER_TABLE2.items():
+        for key, values in row.items():
+            for value in (values if key != "ideal" else values):
+                assert 1.0 <= value <= 9.0, (name, key)
+
+
+def test_fig3b_has_18_values():
+    assert len(PAPER_FIG3B_VALUES) == 18
+    assert max(PAPER_FIG3B_VALUES) == pytest.approx(25.45)
+    assert min(PAPER_FIG3B_VALUES) == pytest.approx(3.79)
+
+
+def test_table3a_total_matches_components():
+    total = sum(gates for _, gates in PAPER_TABLE3A.values())
+    assert total == PAPER_TABLE3A_TOTAL
+
+
+def test_table3b_total_excludes_write_bitmap():
+    stored = sum(bits for name, bits in PAPER_TABLE3B.items()
+                 if name != "write_bitmap")
+    assert stored == PAPER_TABLE3B_TOTAL
+
+
+def test_table3c_is_close_to_linear():
+    per_slot = {slots: bytes_ / slots
+                for slots, bytes_ in PAPER_TABLE3C.items()}
+    values = sorted(per_slot.values())
+    assert values[-1] / values[0] < 1.05  # ~linear in slot count

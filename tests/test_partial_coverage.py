@@ -1,0 +1,93 @@
+"""Mid-block behaviours: prefix coverage, unsupported instructions,
+and resume semantics in the coupled simulator."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import run_program
+from repro.system import evaluate_trace, paper_system
+from repro.system.coupled import CoupledSimulator
+
+# The loop body contains a div: DIM can only translate the prefix; the
+# divide and everything after it run on the processor each iteration.
+DIV_LOOP = """
+    li $s0, 0          # i
+    li $s1, 0          # acc
+loop:
+    addiu $s0, $s0, 1
+    sll $t0, $s0, 3
+    addu $t1, $t0, $s0
+    xor $t2, $t1, $s0
+    div $t3, $t2, 3    # pseudo: div + mflo -> unsupported boundary
+    addu $s1, $s1, $t3
+    blt $s0, 300, loop
+    move $a0, $s1
+    li $v0, 1
+    syscall
+    li $v0, 10
+    syscall
+"""
+
+
+def test_prefix_coverage_with_unsupported_instruction():
+    program = assemble(DIV_LOOP)
+    plain = run_program(program, collect_trace=True)
+    config = paper_system("C3", 64, True)
+    sim = CoupledSimulator(program, config)
+    result = sim.run()
+    assert result.output == plain.output
+    assert result.registers == plain.registers
+    dim = result.dim_stats
+    # the array executes the prefix every iteration...
+    assert dim.array_executions > 250
+    # ...but cannot cover the div/mflo tail: fetches remain substantial
+    assert result.stats.fetches > 300 * 3
+    # and it still wins
+    assert result.stats.cycles < plain.stats.cycles
+    # trace evaluation agrees exactly
+    metrics = evaluate_trace(plain.trace, config)
+    assert metrics.cycles == result.stats.cycles
+
+
+def test_configuration_covers_prefix_only():
+    program = assemble(DIV_LOOP)
+    config = paper_system("C3", 64, False)
+    sim = CoupledSimulator(program, config)
+    sim.run()
+    loop_pc = program.symbols["loop"]
+    cached = sim.engine.cache.peek(loop_pc)
+    assert cached is not None
+    cfg_block = cached.blocks[0]
+    assert cfg_block.covered < cfg_block.body_len
+    # covered exactly up to the div (4 instructions)
+    covered_names = [i.mnemonic for i in
+                     cfg_block.block.instructions[:cfg_block.covered]]
+    assert "div" not in covered_names
+    assert cfg_block.block.instructions[cfg_block.covered].mnemonic \
+        == "div"
+
+
+def test_jr_terminated_blocks_never_speculate():
+    source = """
+        jal work
+        move $a0, $v0
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+    work:
+        addiu $t0, $t0, 1
+        addu $t1, $t0, $t0
+        xor $t2, $t1, $t0
+        sll $v0, $t2, 1
+        jr $ra
+    """
+    program = assemble(source)
+    config = paper_system("C3", 64, True)
+    sim = CoupledSimulator(program, config)
+    result = sim.run()
+    for pc in list(sim.engine.cache._entries):
+        cached = sim.engine.cache.peek(pc)
+        assert len(cached.blocks) == 1
+        assert not cached.blocks[0].includes_terminator
+    assert result.exit_code == 0

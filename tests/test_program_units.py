@@ -1,0 +1,78 @@
+"""Program container and mini-C runtime-semantics edge cases."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.program import Program
+from repro.minic import compile_to_program
+from repro.sim import run_program
+
+
+def test_program_word_access_and_bounds():
+    program = assemble("nop\nnop\n")
+    assert program.num_instructions() == 2
+    assert program.word_at(program.text_base) == 0
+    with pytest.raises(IndexError):
+        program.word_at(program.text_base + 8)
+    with pytest.raises(IndexError):
+        program.word_at(program.text_base - 4)
+    assert program.text_end == program.text_base + 8
+
+
+def test_program_defaults():
+    program = Program(text=b"\x00" * 4, data=b"", entry=0x00400000)
+    assert program.source_name == "<asm>"
+    assert program.symbols == {}
+
+
+def run_expr(expr, prelude=""):
+    source = prelude + ("int main() { print_int(%s); return 0; }" % expr)
+    return run_program(compile_to_program(source)).output
+
+
+def test_division_by_zero_is_deterministic():
+    # architecturally undefined on MIPS; we define quotient 0 (see
+    # repro.isa.semantics.div_result) so simulation is reproducible
+    assert run_expr("x / y", "int x = 7;\nint y = 0;\n") == "0"
+    assert run_expr("x % y", "int x = 7;\nint y = 0;\n") == "7"
+
+
+def test_negative_modulo_matches_c():
+    assert run_expr("-7 % 3") == "-1"
+    assert run_expr("7 % -3") == "1"
+
+
+def test_int_min_edge_cases():
+    assert run_expr("x / y", "int x = -2147483647 - 1;\nint y = -1;\n") \
+        == str(-(2**31))  # wraps like hardware, no trap
+    assert run_expr("-x", "int x = -2147483647 - 1;\n") == str(-(2**31))
+
+
+def test_shift_by_large_amounts_masks_to_five_bits():
+    assert run_expr("x << y", "int x = 1;\nint y = 33;\n") == "2"
+    assert run_expr("x >> y", "unsigned x = 16;\nint y = 36;\n") == "1"
+
+
+def test_char_comparisons_are_unsigned():
+    prelude = 'char b[2];\n'
+    source = prelude + """
+    int main() {
+        b[0] = 200;           // stays 200, not -56
+        if (b[0] > 100) { print_int(1); } else { print_int(0); }
+        return 0;
+    }
+    """
+    assert run_program(compile_to_program(source)).output == "1"
+
+
+def test_unsigned_wraparound_loop_terminates():
+    source = """
+    int main() {
+        unsigned u = 0xfffffffd;
+        int n = 0;
+        while (u != 2) { u = u + 1; n++; }
+        print_int(n);
+        return 0;
+    }
+    """
+    assert run_program(compile_to_program(source)).output == "5"

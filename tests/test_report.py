@@ -1,0 +1,56 @@
+"""The acceleration-report builder."""
+
+import pytest
+
+from repro.minic import compile_to_program
+from repro.system import paper_system
+from repro.system.report import build_report
+
+SOURCE = """
+unsigned a[32];
+int main() {
+    int i; int p;
+    unsigned acc = 1;
+    for (p = 0; p < 8; p++) {
+        for (i = 0; i < 32; i++) {
+            acc = acc * 31 + a[i];
+            a[i] = acc >> 1;
+        }
+    }
+    print_int(acc & 0xffff);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def report():
+    program = compile_to_program(SOURCE)
+    return build_report(program, paper_system("C2", 64, True))
+
+
+def test_report_fields_are_consistent(report):
+    assert report.system == "C2/64/spec"
+    assert report.speedup == pytest.approx(
+        report.baseline_cycles / report.accelerated_cycles)
+    assert report.speedup > 1.0
+    assert report.energy_ratio > 1.0
+    assert 0 < report.array_coverage <= 1.0
+    assert 0 < report.cache_hit_rate <= 1.0
+    assert report.blocks_for_80pct <= report.distinct_blocks
+    assert sum(report.power_shares.values()) == pytest.approx(1.0)
+
+
+def test_report_includes_rendered_configs(report):
+    assert report.hottest_configs
+    assert any("config@0x" in text for text in report.hottest_configs)
+    assert any("line " in text for text in report.hottest_configs)
+
+
+def test_report_renders_as_text(report):
+    text = report.render()
+    assert "acceleration report @ C2/64/spec" in text
+    assert "instructions/branch" in text
+    assert "power shares" in text
+    assert "hottest cached configurations" in text
+    assert f"{report.speedup:.2f}x" in text

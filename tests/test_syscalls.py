@@ -1,0 +1,50 @@
+"""Syscall handling."""
+
+import pytest
+
+from repro.sim.memory import Memory
+from repro.sim.syscalls import SyscallError, handle_syscall
+
+
+def call(code, a0=0, memory=None):
+    regs = [0] * 32
+    regs[2] = code
+    regs[4] = a0
+    output = []
+    result = handle_syscall(regs, memory or Memory(), output)
+    return result, "".join(output)
+
+
+def test_print_int_signed():
+    result, out = call(1, 0xFFFFFFFF)
+    assert result is None
+    assert out == "-1"
+
+
+def test_print_string():
+    memory = Memory()
+    memory.write_block(0x10010000, b"hello\x00trailing")
+    result, out = call(4, 0x10010000, memory)
+    assert result is None
+    assert out == "hello"
+
+
+def test_print_char_masks_to_byte():
+    _, out = call(11, 0x141)  # 0x41 = 'A'
+    assert out == "A"
+
+
+def test_print_hex():
+    _, out = call(34, 0xDEADBEEF)
+    assert out == "0xdeadbeef"
+
+
+def test_exit_codes():
+    assert call(10)[0] == 0
+    assert call(17, 42)[0] == 42
+    assert call(17, 0x1FF)[0] == 0xFF  # masked like a POSIX exit code
+
+
+def test_unknown_syscall_raises():
+    with pytest.raises(SyscallError):
+        call(99)

@@ -1,0 +1,50 @@
+"""Every Table 2 workload accelerates sanely under the default system."""
+
+import pytest
+
+from repro.system import baseline_metrics, evaluate_trace, paper_system
+from repro.workloads import run_workload, workload_names
+
+CONFIG = paper_system("C2", 64, True)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_accelerates(name):
+    plain = run_workload(name)
+    base = baseline_metrics(plain.trace)
+    metrics = evaluate_trace(plain.trace, CONFIG)
+    speedup = base.cycles / metrics.cycles
+    # every workload gains, none implausibly much
+    assert 1.2 < speedup < 6.5, f"{name}: {speedup:.2f}"
+    # committed work is conserved
+    assert metrics.instructions == base.instructions
+    # most of the program runs on the array
+    coverage = metrics.dim.array_instructions / base.instructions
+    assert coverage > 0.4, f"{name}: coverage {coverage:.0%}"
+    # the cache serves the steady state
+    assert metrics.cache_hits / metrics.cache_lookups > 0.3
+
+
+def test_dataflow_beats_control_on_big_arrays():
+    """Table 2's vertical story: dataflow rows gain more from C3."""
+    def c3_gain(name):
+        plain = run_workload(name)
+        base = baseline_metrics(plain.trace)
+        small = evaluate_trace(plain.trace, paper_system("C1", 64, False))
+        big = evaluate_trace(plain.trace, paper_system("C3", 64, False))
+        return (base.cycles / big.cycles) / (base.cycles / small.cycles)
+
+    # array size matters for AES, not for ADPCM
+    assert c3_gain("rijndael_e") > 1.5
+    assert c3_gain("rawaudio_d") < 1.2
+
+
+def test_ideal_bounds_every_real_configuration():
+    for name in ("sha", "quicksort", "rijndael_e"):
+        plain = run_workload(name)
+        ideal = evaluate_trace(plain.trace,
+                               paper_system("ideal", speculation=True))
+        for array in ("C1", "C2", "C3"):
+            real = evaluate_trace(plain.trace,
+                                  paper_system(array, 256, True))
+            assert ideal.cycles <= real.cycles
