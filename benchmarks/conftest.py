@@ -1,13 +1,16 @@
 """Shared fixtures for the benchmark harnesses.
 
 Tracing the 18 workloads is the expensive step (one functional simulation
-each); it happens once per session here.  The Table 2 sweep — every
-workload through every system configuration — is also computed once and
-shared by the Table 2 and Figure 4 benches.
+each); it happens once per session here, through the block-compiled fast
+path, and — when ``REPRO_JOBS`` is set above 1 — fanned across a process
+pool (traces are deterministic, so the parallel result is identical).
+The Table 2 sweep — every workload through every system configuration —
+is also computed once and shared by the Table 2 and Figure 4 benches.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Tuple
 
 import pytest
@@ -20,14 +23,16 @@ from repro.system import (
     paper_system,
 )
 from repro.system.traceeval import SystemMetrics
-from repro.workloads import all_workloads, run_workload
+from repro.workloads import collect_runs
 
 ARRAYS = ("C1", "C2", "C3")
 
 
 @pytest.fixture(scope="session")
 def traces() -> Dict[str, Trace]:
-    return {w.name: run_workload(w.name).trace for w in all_workloads()}
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    runs = collect_runs(jobs=jobs, fast=True)
+    return {name: run.trace for name, run in runs.items()}
 
 
 @pytest.fixture(scope="session")

@@ -27,6 +27,16 @@ class Program:
     data_base: int = DATA_BASE
     symbols: Dict[str, int] = field(default_factory=dict)
     source_name: str = "<asm>"
+    #: pc -> decoded-entry cache shared by every simulator of this program
+    #: (text is immutable, so decode results are a program property; see
+    #: :meth:`repro.sim.cpu.Simulator.decode_at`).
+    decode_cache: Dict[int, tuple] = field(default_factory=dict,
+                                           compare=False, repr=False)
+    #: (pc, flags) -> compiled-block factory cache for the fast path
+    #: (see :mod:`repro.sim.fastpath`).  Holds exec-generated functions,
+    #: so it is intentionally excluded from comparisons.
+    fastpath_cache: Dict[tuple, tuple] = field(default_factory=dict,
+                                               compare=False, repr=False)
 
     @property
     def text_end(self) -> int:

@@ -2,17 +2,20 @@
 
 Usage (installed as ``python -m repro.cli``):
 
-- ``run <file.s|file.c|workload> [--array C3] [--slots 64] [--spec]``
-  — run a program or named workload on the plain MIPS and on the coupled
-  system, printing outputs, cycles, speedup and DIM statistics.
+- ``run <file.s|file.c|workload> [--array C3] [--slots 64] [--spec]
+  [--fast]`` — run a program or named workload on the plain MIPS and on
+  the coupled system, printing outputs, cycles, speedup and DIM
+  statistics (``--fast`` uses the block-compiled simulator).
 - ``workloads`` — list the 18 MiBench-analog workloads.
 - ``inspect <file.s|workload> [--array C1] [--spec]`` — translate the
   hottest basic block and render the resulting array configuration.
 - ``characterize <workload>`` — Figure 3-style block profile.
 - ``report <target>`` — full acceleration report: characterisation,
   speedup/energy, DIM statistics and the hottest configurations.
-- ``suite [--array C2] [--slots 64] [--spec] [--json out.json]`` —
-  evaluate the whole Table 2 suite against one system.
+- ``suite [--array C2] [--slots 64] [--spec] [--json out.json]
+  [--jobs N] [--only a,b] [--fast]`` — evaluate the whole Table 2 suite
+  (or a subset) against one system, optionally fanning workloads across
+  ``N`` processes; JSON output is byte-identical for any ``--jobs``.
 - ``disasm <file.s|file.c|workload>`` — disassemble a target's text
   segment.
 """
@@ -55,13 +58,13 @@ def _load_target(target: str) -> Program:
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_target(args.target)
     config = paper_system(args.array, args.slots, args.spec)
-    plain = run_program(program, collect_trace=True)
+    plain = run_program(program, collect_trace=True, fast=args.fast)
     print(f"plain MIPS : {plain.stats.cycles:,} cycles, "
           f"{plain.stats.instructions:,} instructions, "
           f"exit={plain.exit_code}")
     if plain.output:
         print(f"output     : {plain.output.strip()}")
-    accel = run_coupled(program, config)
+    accel = run_coupled(program, config, fast=args.fast)
     assert accel.output == plain.output
     dim = accel.dim_stats
     base = baseline_metrics(plain.trace, config.timing)
@@ -142,7 +145,14 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.workloads.suite import evaluate_suite, format_suite
 
     config = paper_system(args.array, args.slots, args.spec)
-    result = evaluate_suite(config)
+    names = None
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(workload_names()))
+        if unknown:
+            raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
+    result = evaluate_suite(config, names=names, jobs=args.jobs,
+                            fast=args.fast)
     print(format_suite(result))
     if args.json:
         with open(args.json, "w") as handle:
@@ -173,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(PAPER_SHAPES))
     run_p.add_argument("--slots", type=int, default=64)
     run_p.add_argument("--spec", action="store_true")
+    run_p.add_argument("--fast", action="store_true",
+                       help="use the block-compiled simulator fast path")
     run_p.set_defaults(func=_cmd_run)
 
     sub.add_parser("workloads",
@@ -211,6 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--spec", action="store_true")
     suite_p.add_argument("--json", default=None,
                          help="also write results as JSON")
+    suite_p.add_argument("--jobs", type=int, default=1,
+                         help="fan workload evaluation across N processes "
+                              "(results are byte-identical to --jobs 1)")
+    suite_p.add_argument("--only", default=None,
+                         help="comma-separated workload subset")
+    suite_p.add_argument("--fast", action="store_true",
+                         help="trace workloads with the block-compiled "
+                              "fast path")
     suite_p.set_defaults(func=_cmd_suite)
 
     disasm_p = sub.add_parser("disasm", help="disassemble a target")

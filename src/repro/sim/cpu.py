@@ -77,7 +77,8 @@ class Simulator:
                  timing: Optional[TimingModel] = None,
                  collect_trace: bool = False,
                  max_instructions: int = 200_000_000,
-                 caches: Optional[CacheHierarchy] = None):
+                 caches: Optional[CacheHierarchy] = None,
+                 fast: bool = False):
         self.program = program
         self.timing = timing or TimingModel()
         self.collect_trace = collect_trace
@@ -94,11 +95,21 @@ class Simulator:
         self.output_parts: List[str] = []
         self.stats = RunStats()
         self.block_table = BlockTable()
-        self._decoded: Dict[int, _DecodedEntry] = {}
+        # Decode results are a program property (text is immutable), so
+        # every simulator of one Program shares a single decode cache.
+        self._decoded: Dict[int, _DecodedEntry] = program.decode_cache
         self._trace_events: List[TraceEvent] = []
         self._block_start = self.pc
         self._last_load_dest: Optional[int] = None
         self._hilo_ready = 0
+        self.fast = fast
+        self._fast_engine = None
+        # Cache timing is address-dependent, so the block-compiled fast
+        # path only engages on the (default) ideal-memory configuration.
+        if fast and self.caches.icache is None \
+                and self.caches.dcache is None:
+            from repro.sim.fastpath import FastPath
+            self._fast_engine = FastPath(self)
 
     # ------------------------------------------------------------------
     def decode_at(self, pc: int) -> _DecodedEntry:
@@ -252,9 +263,28 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute until the program exits."""
+        engine = self._fast_engine
+        if engine is not None:
+            engine.run_to_exit()
+            return self.result()
         while self.exit_code is None:
             self.step()
         return self.result()
+
+    def step_block(self) -> StepOutcome:
+        """Execute through the end of the current basic block.
+
+        Uses the block-compiled fast path when enabled; otherwise steps
+        the interpreter.  Either way the returned outcome has
+        ``block_end=True`` and identical architectural effects.
+        """
+        engine = self._fast_engine
+        if engine is not None:
+            return engine.run_block()
+        while True:
+            outcome = self.step()
+            if outcome.block_end:
+                return outcome
 
     def result(self) -> RunResult:
         trace = Trace(self.block_table, self._trace_events) \
@@ -301,8 +331,10 @@ def _store(memory: Memory, mnemonic: str, address: int, value: int) -> None:
 def run_program(program: Program, collect_trace: bool = False,
                 timing: Optional[TimingModel] = None,
                 max_instructions: int = 200_000_000,
-                caches: Optional[CacheHierarchy] = None) -> RunResult:
+                caches: Optional[CacheHierarchy] = None,
+                fast: bool = False) -> RunResult:
     """One-shot convenience: simulate ``program`` to completion."""
     sim = Simulator(program, timing=timing, collect_trace=collect_trace,
-                    max_instructions=max_instructions, caches=caches)
+                    max_instructions=max_instructions, caches=caches,
+                    fast=fast)
     return sim.run()

@@ -53,7 +53,7 @@ class BlockCostModel:
         return cached
 
     def _compute(self, block: BasicBlock,
-                 start_idx: int) -> BlockCost:  # noqa: C901
+                 start_idx: int) -> BlockCost:  # noqa: C901 - mirrors step()
         timing = self.timing
         cycles = 0
         loads = stores = branches = syscalls = 0
@@ -110,3 +110,21 @@ class BlockCostModel:
             hilo_stalls=hilo_stalls,
             syscalls=syscalls,
         )
+
+
+#: process-wide cost models, one per timing configuration.  Sharing one
+#: model across every trace evaluation and fast-path compilation means a
+#: block's cost is computed exactly once per process, no matter how many
+#: system configurations the sweep replays it under.  Costs are keyed by
+#: block identity, so entries live as long as the block table that owns
+#: them (bounded by the workload suite: a few thousand blocks).
+_SHARED_MODELS: Dict[TimingModel, BlockCostModel] = {}
+
+
+def shared_cost_model(timing: TimingModel) -> BlockCostModel:
+    """The process-wide :class:`BlockCostModel` for ``timing``."""
+    model = _SHARED_MODELS.get(timing)
+    if model is None:
+        model = BlockCostModel(timing)
+        _SHARED_MODELS[timing] = model
+    return model

@@ -50,12 +50,12 @@ class CoupledSimulator:
 
     def __init__(self, program: Program, config: SystemConfig,
                  max_instructions: int = 200_000_000,
-                 caches=None):
+                 caches=None, fast: bool = False):
         self.config = config
         self.sim = Simulator(program, timing=config.timing,
                              collect_trace=False,
                              max_instructions=max_instructions,
-                             caches=caches)
+                             caches=caches, fast=fast)
         self._seen: Set[int] = set()
         self.engine = DimEngine(config.shape, config.dim,
                                 self._block_provider)
@@ -87,17 +87,17 @@ class CoupledSimulator:
                     at_start, block_start = self._execute_array(config)
                     entered_at_start = at_start
                     continue
-                at_start = False
-            outcome = sim.step()
-            if outcome.block_end:
-                block = sim.block_at(block_start)
-                if block.is_conditional:
-                    engine.observe_branch(block.branch_pc, outcome.taken)
-                if entered_at_start and sim.exit_code is None:
-                    engine.consider_translation(block)
-                at_start = True
-                entered_at_start = True
-                block_start = outcome.next_pc
+            # Execute to the end of the (possibly partially resumed)
+            # block in one call — block-compiled when fast is enabled.
+            outcome = sim.step_block()
+            block = sim.block_at(block_start)
+            if block.is_conditional:
+                engine.observe_branch(block.branch_pc, outcome.taken)
+            if entered_at_start and sim.exit_code is None:
+                engine.consider_translation(block)
+            at_start = True
+            entered_at_start = True
+            block_start = outcome.next_pc
         cache = engine.cache
         return CoupledRunResult(
             exit_code=sim.exit_code,
@@ -232,7 +232,7 @@ class CoupledSimulator:
 
 def run_coupled(program: Program, config: SystemConfig,
                 max_instructions: int = 200_000_000,
-                caches=None) -> CoupledRunResult:
+                caches=None, fast: bool = False) -> CoupledRunResult:
     """One-shot convenience wrapper."""
     return CoupledSimulator(program, config, max_instructions,
-                            caches=caches).run()
+                            caches=caches, fast=fast).run()

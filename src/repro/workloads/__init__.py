@@ -108,19 +108,55 @@ def load_workload(name: str) -> Program:
     return program
 
 
-def run_workload(name: str, collect_trace: bool = True) -> RunResult:
+def run_workload(name: str, collect_trace: bool = True,
+                 fast: bool = False) -> RunResult:
     """Execute (with caching) one workload on the plain MIPS core.
 
     The cached result carries the basic-block trace every benchmark
     harness replays; runs are cached because tracing a workload is the
-    expensive step of the evaluation.
+    expensive step of the evaluation.  ``fast`` routes execution through
+    the block-compiled engine (:mod:`repro.sim.fastpath`), which yields a
+    bit-identical result — so the cache is shared between both modes.
     """
     cached = _RUNS.get(name)
     if cached is not None:
         return cached
-    result = run_program(load_workload(name), collect_trace=collect_trace)
+    result = run_program(load_workload(name), collect_trace=collect_trace,
+                         fast=fast)
     if result.exit_code != 0:
         raise RuntimeError(
             f"workload {name} exited with {result.exit_code}")
     _RUNS[name] = result
     return result
+
+
+def _run_worker(args: Tuple[str, bool]) -> Tuple[str, RunResult]:
+    """Process-pool entry point: trace one workload in a worker."""
+    name, fast = args
+    return name, run_workload(name, fast=fast)
+
+
+def collect_runs(names: Optional[List[str]] = None, jobs: int = 1,
+                 fast: bool = False) -> Dict[str, RunResult]:
+    """Trace many workloads, optionally fanned across processes.
+
+    With ``jobs > 1`` the uncached workloads are compiled and traced in a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; results come back
+    in deterministic (requested) order and seed the in-process run cache
+    so later calls are free.  Traces are deterministic, so the parallel
+    path returns exactly what the serial path would.
+    """
+    names = list(names) if names is not None else workload_names()
+    pending = [n for n in names if n not in _RUNS]
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))) as pool:
+            for name, result in pool.map(
+                    _run_worker, [(n, fast) for n in pending]):
+                _RUNS[name] = result
+    else:
+        for name in pending:
+            run_workload(name, fast=fast)
+    return {name: _RUNS[name] for name in names}

@@ -67,37 +67,63 @@ class SuiteResult:
         }, indent=2)
 
 
+def _evaluate_one(name: str, config: SystemConfig,
+                  energy_params: EnergyParams,
+                  fast: bool) -> WorkloadResult:
+    """Trace and evaluate a single workload (also the pool entry point)."""
+    plain = run_workload(name, fast=fast)
+    base = baseline_metrics(plain.trace, config.timing)
+    metrics = evaluate_trace(plain.trace, config, name=name)
+    return WorkloadResult(
+        workload=name,
+        system=config.name,
+        baseline_cycles=base.cycles,
+        cycles=metrics.cycles,
+        speedup=base.cycles / metrics.cycles,
+        energy_ratio=energy_ratio(base, metrics, energy_params),
+        instructions=metrics.instructions,
+        array_coverage=metrics.dim.array_instructions
+        / max(1, metrics.instructions),
+        cache_hit_rate=metrics.cache_hits
+        / max(1, metrics.cache_lookups),
+        misspeculations=metrics.dim.misspeculations,
+        flushes=metrics.dim.flushes,
+    )
+
+
+def _suite_worker(args) -> WorkloadResult:
+    name, config, energy_params, fast = args
+    return _evaluate_one(name, config, energy_params, fast)
+
+
 def evaluate_suite(config: Optional[SystemConfig] = None,
                    names: Optional[Iterable[str]] = None,
-                   energy_params: EnergyParams = EnergyParams()
-                   ) -> SuiteResult:
+                   energy_params: EnergyParams = EnergyParams(),
+                   jobs: int = 1,
+                   fast: bool = False) -> SuiteResult:
     """Evaluate workloads against ``config`` (default: C#2/64/spec).
 
     Traces are computed once per process and cached by
     :mod:`repro.workloads`, so repeated calls with different
-    configurations are cheap.
+    configurations are cheap.  ``jobs > 1`` fans the per-workload
+    trace+evaluate work across a process pool; results are returned in
+    the same (requested) order and are numerically identical to the
+    serial path — both run :func:`_evaluate_one` — so the JSON output is
+    byte-identical regardless of ``jobs``.  ``fast`` traces workloads
+    through the block-compiled simulator (bit-identical by invariant).
     """
     config = config or paper_system("C2", 64, True)
-    results: List[WorkloadResult] = []
-    for name in (list(names) if names is not None else workload_names()):
-        plain = run_workload(name)
-        base = baseline_metrics(plain.trace, config.timing)
-        metrics = evaluate_trace(plain.trace, config, name=name)
-        results.append(WorkloadResult(
-            workload=name,
-            system=config.name,
-            baseline_cycles=base.cycles,
-            cycles=metrics.cycles,
-            speedup=base.cycles / metrics.cycles,
-            energy_ratio=energy_ratio(base, metrics, energy_params),
-            instructions=metrics.instructions,
-            array_coverage=metrics.dim.array_instructions
-            / max(1, metrics.instructions),
-            cache_hit_rate=metrics.cache_hits
-            / max(1, metrics.cache_lookups),
-            misspeculations=metrics.dim.misspeculations,
-            flushes=metrics.dim.flushes,
-        ))
+    names = list(names) if names is not None else workload_names()
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            results = list(pool.map(
+                _suite_worker,
+                [(name, config, energy_params, fast) for name in names]))
+    else:
+        results = [_evaluate_one(name, config, energy_params, fast)
+                   for name in names]
     return SuiteResult(config.name, results)
 
 

@@ -1,0 +1,217 @@
+"""Differential tests for the block-compiled fast path.
+
+The fast path (:mod:`repro.sim.fastpath`) must be *bit-identical* to the
+per-instruction interpreter: same architectural state, same output, same
+cycle counts and event statistics, same trace — for every workload in
+the suite, for targeted corner-case kernels, and for the coupled
+MIPS+DIM system including under forced mis-speculation.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.minic import compile_to_program
+from repro.sim import CacheConfig, CacheHierarchy, Simulator, run_program
+from repro.sim.cpu import SimulationError
+from repro.system import paper_system
+from repro.system.coupled import run_coupled
+from repro.workloads import load_workload, run_workload, workload_names
+
+
+def _assert_identical(program):
+    """Run both engines over ``program`` and compare everything."""
+    slow = run_program(program, collect_trace=True)
+    fast = run_program(program, collect_trace=True, fast=True)
+    assert fast.exit_code == slow.exit_code
+    assert fast.output == slow.output
+    assert fast.registers == slow.registers
+    assert fast.stats == slow.stats  # cycles, stalls, every event counter
+    assert fast.trace.events == slow.trace.events
+    assert [(b.start_pc, b.instructions)
+            for b in fast.trace.table.blocks] == \
+           [(b.start_pc, b.instructions)
+            for b in slow.trace.table.blocks]
+    assert fast.memory.snapshot_pages() == slow.memory.snapshot_pages()
+    return slow
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_fastpath_matches_interpreter_on_workload(name):
+    slow = run_workload(name)  # cached interpreter run
+    fast = run_program(load_workload(name), collect_trace=True, fast=True)
+    assert fast.exit_code == slow.exit_code
+    assert fast.output == slow.output
+    assert fast.registers == slow.registers
+    assert fast.stats == slow.stats
+    assert fast.trace.events == slow.trace.events
+
+
+# Ops the workloads exercise lightly: back-to-back mult/mfhi (HI/LO
+# stall), div/mfhi, negative arithmetic shifts, variable shifts,
+# sign-extending sub-word loads, sub-word stores, slt/sltiu corners,
+# jal/jr/jalr call chains.
+CORNER_KERNEL = """
+        .data
+buf:    .space 64
+        .text
+__start:
+        li   $s0, -7
+        li   $s1, 3
+        mult $s0, $s1
+        mfhi $t0                 # immediate HI read: stalls
+        mflo $t1
+        div  $s0, $s1
+        mfhi $t2                 # remainder
+        mflo $t3                 # quotient
+        sra  $t4, $s0, 2
+        srav $t5, $s0, $s1
+        sllv $t6, $s1, $s0
+        sltiu $t7, $s0, 5
+        slti  $s2, $s0, 5
+        la   $a0, buf
+        sw   $s0, 0($a0)
+        lb   $t8, 0($a0)         # sign-extended byte of -7
+        lbu  $t9, 0($a0)
+        sh   $s0, 4($a0)
+        lh   $s3, 4($a0)
+        lhu  $s4, 4($a0)
+        jal  leaf
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+leaf:
+        addu $v0, $t8, $t2
+        addu $v0, $v0, $s3
+        jalr $s5, $ra            # return via jalr to cover its encoding
+"""
+
+
+def test_fastpath_corner_operations():
+    program = assemble(CORNER_KERNEL)
+    result = _assert_identical(program)
+    assert result.stats.hilo_stalls > 0
+
+
+def test_fastpath_branch_variants():
+    program = compile_to_program("""
+    int main() {
+        int i; int acc = 0;
+        for (i = -20; i < 20; i++) {
+            if (i > 0) { acc += i; }
+            if (i <= 3) { acc ^= 5; }
+            if (i >= -2) { acc <<= 1; }
+            if (i < 7) { acc -= 2; }
+            if (i == 11) { acc |= 256; }
+            if (i != -11) { acc++; }
+            acc &= 0xffffff;
+        }
+        print_int(acc);
+        return 0;
+    }
+    """)
+    _assert_identical(program)
+
+
+def test_fastpath_recursion_and_calls():
+    program = compile_to_program("""
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+        print_int(fib(14));
+        return 0;
+    }
+    """)
+    _assert_identical(program)
+
+
+def test_fastpath_store_to_text_asserts():
+    program = assemble("""
+    __start:
+        la   $t0, __start
+        sw   $zero, 0($t0)
+        li   $v0, 10
+        syscall
+    """)
+    with pytest.raises(SimulationError, match="self-modifying"):
+        run_program(program, fast=True)
+    # the interpreter tolerates it (stale decode cache, out of scope)
+    assert run_program(program).exit_code == 0
+
+
+def test_fastpath_falls_back_when_caches_configured():
+    program = compile_to_program("""
+    int main() { print_int(42); return 0; }
+    """)
+    caches = CacheHierarchy.build(icache=CacheConfig(),
+                                  dcache=CacheConfig())
+    sim = Simulator(program, caches=caches, fast=True)
+    assert sim._fast_engine is None  # cache timing needs the interpreter
+    assert sim.run().output == "42"
+
+
+def test_fastpath_shares_one_decode_cache():
+    program = compile_to_program("""
+    int main() { print_int(7); return 0; }
+    """)
+    a = Simulator(program)
+    a.run()
+    b = Simulator(program, fast=True)
+    assert a._decoded is b._decoded  # hoisted onto the Program
+    assert b._decoded is program.decode_cache
+    assert len(program.decode_cache) > 0
+
+
+BRANCHY = """
+int main() {
+    int i;
+    int odd = 0;
+    int even = 0;
+    unsigned seed = 77;
+    for (i = 0; i < 3000; i++) {
+        seed = seed * 1103515245 + 12345;
+        if ((seed >> 16) & 1) { odd++; }
+        else {
+            if ((seed >> 17) & 1) { even += 2; } else { even++; }
+        }
+    }
+    print_int(odd);
+    print_char(' ');
+    print_int(even);
+    return 0;
+}
+"""
+
+
+@pytest.mark.parametrize("spec", [False, True])
+def test_fast_coupled_matches_interpreter(spec):
+    """Coupled system: fast vs slow, including forced mis-speculation."""
+    program = compile_to_program(BRANCHY)
+    config = paper_system("C3", 64, spec)
+    slow = run_coupled(program, config)
+    fast = run_coupled(program, config, fast=True)
+    assert fast.exit_code == slow.exit_code
+    assert fast.output == slow.output
+    assert fast.registers == slow.registers
+    assert fast.stats == slow.stats
+    assert fast.dim_stats == slow.dim_stats
+    assert fast.cache_lookups == slow.cache_lookups
+    assert fast.cache_hits == slow.cache_hits
+    assert fast.predictor_accuracy == slow.predictor_accuracy
+    if spec:  # data-dependent branches force real mis-speculations
+        assert slow.dim_stats.misspeculations > 0
+
+
+@pytest.mark.parametrize("name", ["crc", "sha", "quicksort"])
+def test_fast_coupled_matches_interpreter_on_workloads(name):
+    config = paper_system("C2", 64, True)
+    program = load_workload(name)
+    slow = run_coupled(program, config)
+    fast = run_coupled(program, config, fast=True)
+    assert fast.output == slow.output
+    assert fast.registers == slow.registers
+    assert fast.stats == slow.stats
+    assert fast.dim_stats == slow.dim_stats

@@ -55,6 +55,37 @@ def test_cli_suite_with_json(tmp_path, capsys, monkeypatch):
     assert payload["system"] == "C2/64/spec"
 
 
+def test_parallel_suite_is_byte_identical():
+    """--jobs N must not change a single byte of the JSON output."""
+    config = paper_system("C2", 64, True)
+    serial = evaluate_suite(config, names=SUBSET, jobs=1)
+    parallel = evaluate_suite(config, names=SUBSET, jobs=2)
+    assert parallel.to_json() == serial.to_json()
+
+
+def test_fast_suite_is_byte_identical():
+    config = paper_system("C1", 16, False)
+    serial = evaluate_suite(config, names=SUBSET)
+    fast = evaluate_suite(config, names=SUBSET, fast=True, jobs=2)
+    assert fast.to_json() == serial.to_json()
+
+
+def test_cli_suite_only_jobs_fast(tmp_path, capsys):
+    serial_file = tmp_path / "serial.json"
+    parallel_file = tmp_path / "parallel.json"
+    assert main(["suite", "--only", "crc,sha",
+                 "--json", str(serial_file)]) == 0
+    assert main(["suite", "--only", "crc,sha", "--jobs", "2", "--fast",
+                 "--json", str(parallel_file)]) == 0
+    capsys.readouterr()
+    assert parallel_file.read_bytes() == serial_file.read_bytes()
+
+
+def test_cli_suite_rejects_unknown_workload(capsys):
+    with pytest.raises(SystemExit, match="unknown workloads: nope"):
+        main(["suite", "--only", "crc,nope"])
+
+
 def test_cli_disasm(capsys):
     assert main(["disasm", "crc"]) == 0
     out = capsys.readouterr().out
