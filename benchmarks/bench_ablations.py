@@ -13,30 +13,40 @@ from dataclasses import replace
 import pytest
 
 from repro.analysis import format_table
-from repro.system import evaluate_trace, paper_system
+from repro.system import evaluate_trace, paper_system, replay_matrix
+
+from conftest import artifact_cache
 
 #: a balanced subset: 2 dataflow, 2 mid, 2 control, 2 cache-sensitive.
 SUBSET = ("rijndael_e", "sha", "jpeg_e", "susan_c", "quicksort",
           "rawaudio_d", "patricia", "stringsearch")
 
 
-def geomean_speedup(traces, baselines, config, names=SUBSET):
-    product = 1.0
-    for name in names:
-        metrics = evaluate_trace(traces[name], config)
-        product *= baselines[name].cycles / metrics.cycles
-    return product ** (1.0 / len(names))
+def geomean_speedups(traces, baselines, configs, names=SUBSET):
+    """Geomean speedup per configuration, via the matrix sweep engine.
+
+    One call evaluates a whole ablation series: configurations share
+    per-workload translation memos and per-cell disk artifacts, and the
+    metrics are identical to independent ``evaluate_trace`` calls.
+    """
+    subset = {name: traces[name] for name in names}
+    cells = replay_matrix(subset, configs, cache=artifact_cache())
+    values = []
+    for index in range(len(configs)):
+        product = 1.0
+        for name in names:
+            product *= baselines[name].cycles / cells[(name, index)].cycles
+        values.append(product ** (1.0 / len(names)))
+    return values
 
 
 def test_ablation_speculation_depth(benchmark, traces, baselines, capsys):
-    rows = []
-    values = {}
-    for depth in (0, 1, 2, 3, 4):
-        config = paper_system("C3", 64, speculation=depth > 0)
-        config = config.with_dim(max_spec_depth=depth)
-        value = geomean_speedup(traces, baselines, config)
-        values[depth] = value
-        rows.append([depth, value])
+    depths = (0, 1, 2, 3, 4)
+    configs = [paper_system("C3", 64, speculation=depth > 0)
+               .with_dim(max_spec_depth=depth) for depth in depths]
+    values = dict(zip(depths,
+                      geomean_speedups(traces, baselines, configs)))
+    rows = [[depth, values[depth]] for depth in depths]
     table = format_table(["spec depth (blocks)", "geomean speedup"], rows,
                          title="Ablation — speculation depth at C#3 / 64")
     with capsys.disabled():
@@ -53,15 +63,13 @@ def test_ablation_speculation_depth(benchmark, traces, baselines, capsys):
 
 
 def test_ablation_alu_chain(benchmark, traces, baselines, capsys):
-    rows = []
-    values = {}
-    for chain in (1, 2, 3, 4):
-        config = paper_system("C3", 64, True)
-        config = replace(config, shape=replace(config.shape,
-                                               alu_chain=chain))
-        value = geomean_speedup(traces, baselines, config)
-        values[chain] = value
-        rows.append([chain, value])
+    chains = (1, 2, 3, 4)
+    base = paper_system("C3", 64, True)
+    configs = [replace(base, shape=replace(base.shape, alu_chain=chain))
+               for chain in chains]
+    values = dict(zip(chains,
+                      geomean_speedups(traces, baselines, configs)))
+    rows = [[chain, values[chain]] for chain in chains]
     table = format_table(["ALU lines per cycle", "geomean speedup"], rows,
                          title="Ablation — ALU chaining (default: 2)")
     with capsys.disabled():
@@ -75,18 +83,14 @@ def test_ablation_alu_chain(benchmark, traces, baselines, capsys):
 
 def test_ablation_cache_policy(benchmark, traces, baselines, capsys):
     sensitive = ("rijndael_e", "patricia", "stringsearch", "jpeg_e")
-    rows = []
-    values = {}
-    for slots in (8, 16, 32):
-        row = [slots]
-        for policy in ("fifo", "lru"):
-            config = paper_system("C3", slots, True)
-            config = config.with_dim(cache_policy=policy)
-            value = geomean_speedup(traces, baselines, config,
-                                    names=sensitive)
-            values[(slots, policy)] = value
-            row.append(value)
-        rows.append(row)
+    points = [(slots, policy) for slots in (8, 16, 32)
+              for policy in ("fifo", "lru")]
+    configs = [paper_system("C3", slots, True)
+               .with_dim(cache_policy=policy) for slots, policy in points]
+    values = dict(zip(points, geomean_speedups(traces, baselines, configs,
+                                               names=sensitive)))
+    rows = [[slots, values[(slots, "fifo")], values[(slots, "lru")]]
+            for slots in (8, 16, 32)]
     table = format_table(["#slots", "FIFO (paper)", "LRU"], rows,
                          title="Ablation — reconfiguration-cache "
                                "replacement (cache-sensitive workloads)")
@@ -102,14 +106,13 @@ def test_ablation_cache_policy(benchmark, traces, baselines, capsys):
 
 
 def test_ablation_min_block_length(benchmark, traces, baselines, capsys):
-    rows = []
-    values = {}
-    for min_len in (2, 4, 6, 8, 12):
-        config = paper_system("C3", 64, True)
-        config = config.with_dim(min_block_instructions=min_len)
-        value = geomean_speedup(traces, baselines, config)
-        values[min_len] = value
-        rows.append([min_len, value])
+    lengths = (2, 4, 6, 8, 12)
+    configs = [paper_system("C3", 64, True)
+               .with_dim(min_block_instructions=min_len)
+               for min_len in lengths]
+    values = dict(zip(lengths,
+                      geomean_speedups(traces, baselines, configs)))
+    rows = [[min_len, values[min_len]] for min_len in lengths]
     table = format_table(["min instructions", "geomean speedup"], rows,
                          title="Ablation — minimum cached block length "
                                "(paper: >3)")

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cgra.shape import ArrayShape
+from repro.dim.memo import TranslationMemo
 from repro.dim.params import DimParams
 from repro.sim.stats import TimingModel
 from repro.sim.trace import Trace
@@ -70,6 +71,10 @@ def search_shapes(traces: Dict[str, Trace],
     timing = timing or TimingModel()
     baselines = {name: baseline_metrics(trace, timing)
                  for name, trace in traces.items()}
+    # One translation memo per workload, shared across the whole shape
+    # grid: memo keys include the array shape, so results stay identical
+    # while retranslation retries within each evaluation are elided.
+    memos = {name: TranslationMemo() for name in traces}
     candidates: List[ShapeCandidate] = []
     for shape in (shapes if shapes is not None else default_grid()):
         gates = area_report(shape, area_params).total_gates
@@ -79,7 +84,7 @@ def search_shapes(traces: Dict[str, Trace],
                               name=f"{shape.rows}r{shape.alus_per_row}a")
         product = 1.0
         for name, trace in traces.items():
-            metrics = evaluate_trace(trace, config)
+            metrics = evaluate_trace(trace, config, memo=memos[name])
             product *= baselines[name].cycles / metrics.cycles
         geomean = product ** (1.0 / len(traces))
         candidates.append(ShapeCandidate(

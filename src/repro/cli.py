@@ -16,6 +16,13 @@ Usage (installed as ``python -m repro.cli``):
   [--jobs N] [--only a,b] [--fast]`` — evaluate the whole Table 2 suite
   (or a subset) against one system, optionally fanning workloads across
   ``N`` processes; JSON output is byte-identical for any ``--jobs``.
+- ``sweep [--arrays C1,C2] [--slots 16,64] [--spec both] [--ideal]
+  [--only a,b] [--jobs N] [--json out.json] [--instrumentation i.json]
+  [--cache-dir DIR] [--no-cache]`` — evaluate a full workloads x
+  configurations matrix through the trace-once / replay-many sweep
+  engine with persistent artifact caching; defaults to the paper's
+  Table 2 matrix.  Result JSON is byte-identical to per-configuration
+  ``suite`` runs, serial or parallel, cold or warm cache.
 - ``disasm <file.s|file.c|workload>`` — disassemble a target's text
   segment.
 """
@@ -145,12 +152,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.workloads.suite import evaluate_suite, format_suite
 
     config = paper_system(args.array, args.slots, args.spec)
-    names = None
-    if args.only:
-        names = [n.strip() for n in args.only.split(",") if n.strip()]
-        unknown = sorted(set(names) - set(workload_names()))
-        if unknown:
-            raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
+    names = _parse_workload_subset(args.only)
     result = evaluate_suite(config, names=names, jobs=args.jobs,
                             fast=args.fast)
     print(format_suite(result))
@@ -158,6 +160,89 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             handle.write(result.to_json())
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _parse_workload_subset(only: Optional[str]) -> Optional[List[str]]:
+    if not only:
+        return None
+    names = [n.strip() for n in only.split(",") if n.strip()]
+    unknown = sorted(set(names) - set(workload_names()))
+    if unknown:
+        raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
+    return names
+
+
+def _sweep_configs(args: argparse.Namespace) -> List:
+    from repro.system.sweep import paper_matrix
+
+    if not args.arrays:
+        return paper_matrix()
+    arrays = [a.strip() for a in args.arrays.split(",") if a.strip()]
+    unknown = sorted(set(arrays) - set(PAPER_SHAPES) - {"ideal"})
+    if unknown:
+        raise SystemExit(f"unknown arrays: {', '.join(unknown)}")
+    slots = [int(s) for s in args.slots.split(",") if s.strip()]
+    spec_values = {"off": (False,), "on": (True,),
+                   "both": (False, True)}.get(args.spec)
+    if spec_values is None:
+        raise SystemExit("--spec must be off, on or both")
+    configs = []
+    for array in arrays:
+        for spec in spec_values:
+            if array == "ideal":
+                configs.append(paper_system("ideal", speculation=spec))
+            else:
+                for slot_count in slots:
+                    configs.append(paper_system(array, slot_count, spec))
+    if args.ideal and "ideal" not in arrays:
+        for spec in spec_values:
+            configs.append(paper_system("ideal", speculation=spec))
+    return configs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.system.artifacts import ArtifactCache, default_cache_dir
+    from repro.system.sweep import evaluate_matrix
+
+    configs = _sweep_configs(args)
+    names = _parse_workload_subset(args.only)
+    cache = None
+    if not args.no_cache:
+        root = args.cache_dir if args.cache_dir else default_cache_dir()
+        cache = ArtifactCache(root)
+    matrix = evaluate_matrix(configs, names=names, jobs=args.jobs,
+                             fast=args.fast, cache=cache)
+
+    print(f"{'system':16s} {'geomean speedup':>16s} "
+          f"{'geomean energy':>15s}")
+    for suite in matrix.suites:
+        print(f"{suite.system:16s} {suite.geomean_speedup:>15.3f}x "
+              f"{suite.geomean_energy_ratio:>14.3f}x")
+    inst = matrix.instrumentation
+    print(f"\n{inst.cells} cells ({inst.workloads} workloads x "
+          f"{inst.systems} systems) in {inst.total_seconds:.2f}s "
+          f"(trace {inst.trace_seconds:.2f}s, replay "
+          f"{inst.replay_seconds:.2f}s)")
+    print(f"traces     : {inst.traces_simulated} simulated, "
+          f"{inst.traces_from_disk} from disk, "
+          f"{inst.traces_in_memory} in memory")
+    print(f"cells      : {inst.cells_replayed} replayed, "
+          f"{inst.cells_from_disk} from disk artifacts")
+    print(f"alloc memo : {inst.alloc_hit_rate:.1%} hit rate "
+          f"({inst.alloc_hits:,} hits)")
+    if cache is not None:
+        print(f"artifacts  : {inst.artifact_hit_rate:.1%} hit rate "
+              f"({inst.artifact_hits} hits, {inst.artifact_stores} "
+              f"stores) @ {cache.root}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(matrix.results_json())
+        print(f"\nwrote {args.json}")
+    if args.instrumentation:
+        with open(args.instrumentation, "w") as handle:
+            handle.write(matrix.instrumentation_json())
+        print(f"wrote {args.instrumentation}")
     return 0
 
 
@@ -232,6 +317,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace workloads with the block-compiled "
                               "fast path")
     suite_p.set_defaults(func=_cmd_suite)
+
+    sweep_p = sub.add_parser("sweep",
+                             help="evaluate a workloads x configurations "
+                                  "matrix with the sweep engine")
+    sweep_p.add_argument("--arrays", default=None,
+                         help="comma-separated arrays (C1,C2,C3,ideal); "
+                              "default: the full Table 2 matrix")
+    sweep_p.add_argument("--slots", default="16,64,256",
+                         help="comma-separated reconfiguration-cache "
+                              "sizes (ignored for ideal)")
+    sweep_p.add_argument("--spec", default="both",
+                         choices=("off", "on", "both"),
+                         help="speculation settings to sweep")
+    sweep_p.add_argument("--ideal", action="store_true",
+                         help="also include the two Ideal columns")
+    sweep_p.add_argument("--only", default=None,
+                         help="comma-separated workload subset")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="fan workload rows across N processes "
+                              "(results are byte-identical to --jobs 1)")
+    sweep_p.add_argument("--fast", action="store_true",
+                         help="trace workloads with the block-compiled "
+                              "fast path")
+    sweep_p.add_argument("--json", default=None,
+                         help="write the deterministic matrix report")
+    sweep_p.add_argument("--instrumentation", default=None,
+                         help="write phase timings and cache counters")
+    sweep_p.add_argument("--cache-dir", default=None,
+                         help="artifact-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent artifact cache")
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     disasm_p = sub.add_parser("disasm", help="disassemble a target")
     disasm_p.add_argument("target")

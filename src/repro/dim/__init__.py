@@ -16,6 +16,8 @@ at the algorithmic level:
   (translate on first sight, execute from cache afterwards, extend
   configurations when counters saturate, flush on repeated
   mis-speculation).
+- :mod:`repro.dim.memo` — probe-validated memoization of translations,
+  shared across the engines of a design-space sweep.
 """
 
 from repro.dim.params import DimParams
@@ -23,6 +25,7 @@ from repro.dim.predictor import BimodalPredictor
 from repro.dim.rcache import ReconfigurationCache
 from repro.dim.translator import Translator
 from repro.dim.engine import DimEngine, DimStats
+from repro.dim.memo import TranslationMemo
 
 __all__ = [
     "DimParams",
@@ -31,4 +34,5 @@ __all__ = [
     "Translator",
     "DimEngine",
     "DimStats",
+    "TranslationMemo",
 ]

@@ -13,7 +13,7 @@ in cycle-exact agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cgra.configuration import ConfigBlock, Configuration
 from repro.cgra.shape import ArrayShape
@@ -21,6 +21,9 @@ from repro.dim.params import DimParams
 from repro.dim.predictor import BimodalPredictor
 from repro.dim.rcache import ReconfigurationCache
 from repro.dim.translator import BlockProvider, Translator
+
+if TYPE_CHECKING:
+    from repro.dim.memo import TranslationMemo
 from repro.isa.opcodes import InstrClass
 from repro.sim.trace import BasicBlock
 
@@ -55,7 +58,8 @@ class DimEngine:
     """Predictor + cache + translator with the paper's run-time policies."""
 
     def __init__(self, shape: ArrayShape, params: DimParams,
-                 block_provider: BlockProvider):
+                 block_provider: BlockProvider,
+                 translation_memo: Optional["TranslationMemo"] = None):
         self.shape = shape
         self.params = params
         self.predictor = BimodalPredictor(params.predictor_entries)
@@ -63,7 +67,16 @@ class DimEngine:
                                           params.cache_policy)
         self.translator = Translator(shape, params, self.predictor,
                                      block_provider)
+        #: optional cross-engine translation cache (see repro.dim.memo);
+        #: results are identical with or without it.
+        self.translation_memo = translation_memo
         self.stats = DimStats()
+
+    def _translate(self, block: BasicBlock) -> Optional[Configuration]:
+        memo = self.translation_memo
+        if memo is None:
+            return self.translator.translate(block)
+        return memo.translate(self.translator, block)
 
     # ------------------------------------------------------------------
     # Block-start path.
@@ -90,7 +103,7 @@ class DimEngine:
             if self.predictor.saturated_direction(last.block.branch_pc) \
                     is None:
                 return config
-        new = self.translator.translate(config.blocks[0].block)
+        new = self._translate(config.blocks[0].block)
         self.stats.translations += 1
         if new is not None \
                 and new.covered_instructions > config.covered_instructions:
@@ -114,7 +127,7 @@ class DimEngine:
         """Translate a block that just executed normally from its start."""
         if self.cache.peek(block.start_pc) is not None:
             return
-        config = self.translator.translate(block)
+        config = self._translate(block)
         self.stats.translations += 1
         if config is not None:
             self.stats.translated_instructions += \

@@ -22,7 +22,7 @@ either.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, MutableSequence, Optional, Tuple
 
 from repro.cgra.allocation import Allocator
 from repro.cgra.configuration import ConfigBlock, Configuration
@@ -35,6 +35,17 @@ from repro.sim.trace import BasicBlock
 
 #: successor lookup: start PC -> block, or None when not yet discovered.
 BlockProvider = Callable[[int], Optional[BasicBlock]]
+
+#: probe-log record kinds (see :mod:`repro.dim.memo`).  A translation's
+#: outcome is a pure function of its first block, the array shape, the
+#: policy knobs, and the answers the walk receives from the predictor
+#: and the block provider; recording those answers makes the result
+#: memoizable across engines.
+PROBE_DIRECTION = 0
+PROBE_SUCCESSOR = 1
+
+#: one recorded query: (kind, pc, answer).
+Probe = Tuple[int, int, object]
 
 
 def _body(block: BasicBlock):
@@ -71,12 +82,17 @@ class Translator:
         self.predictor = predictor
         self.block_provider = block_provider
 
-    def translate(self, first_block: BasicBlock) -> Optional[Configuration]:
+    def translate(self, first_block: BasicBlock,
+                  probe_log: Optional[MutableSequence[Probe]] = None
+                  ) -> Optional[Configuration]:
         """Translate the tree rooted at ``first_block``.
 
         Returns None when fewer than ``min_block_instructions`` would be
         covered (the paper does not cache configurations of three or
-        fewer instructions).
+        fewer instructions).  When ``probe_log`` is given, every
+        predictor/provider query and its answer is appended to it, which
+        is what lets :class:`repro.dim.memo.TranslationMemo` revalidate
+        and reuse the result.
         """
         params = self.params
         alloc = Allocator(self.shape)
@@ -111,6 +127,9 @@ class Translator:
                     break
                 direction = self.predictor.saturated_direction(
                     block.branch_pc)
+                if probe_log is not None:
+                    probe_log.append((PROBE_DIRECTION, block.branch_pc,
+                                      direction))
                 if direction is None:
                     # not biased enough yet; retry on a later execution
                     cfg_blocks.append(ConfigBlock(block, covered, False))
@@ -123,6 +142,8 @@ class Translator:
                 next_pc = block.taken_target()
 
             next_block = self.block_provider(next_pc)
+            if probe_log is not None:
+                probe_log.append((PROBE_SUCCESSOR, next_pc, next_block))
             if next_block is None:
                 cfg_blocks.append(ConfigBlock(block, covered, False))
                 extendable = True

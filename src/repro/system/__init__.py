@@ -46,6 +46,15 @@ from repro.system.area import (
     cache_bytes,
     config_bits_report,
 )
+from repro.system.artifacts import ArtifactCache
+from repro.system.sweep import (
+    MatrixResult,
+    SweepInstrumentation,
+    evaluate_matrix,
+    paper_matrix,
+    replay_matrix,
+    replay_workload,
+)
 
 __all__ = [
     "PAPER_CACHE_SLOTS",
@@ -69,4 +78,11 @@ __all__ = [
     "area_report",
     "cache_bytes",
     "config_bits_report",
+    "ArtifactCache",
+    "MatrixResult",
+    "SweepInstrumentation",
+    "evaluate_matrix",
+    "paper_matrix",
+    "replay_matrix",
+    "replay_workload",
 ]

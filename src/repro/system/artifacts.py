@@ -1,0 +1,171 @@
+"""Persistent, content-addressed artifact cache for sweep evaluations.
+
+Three artifact kinds are stored, mirroring the three stages of a matrix
+sweep (see :mod:`repro.system.sweep`):
+
+- ``trace`` — the basic-block trace of one workload's functional run,
+  stored in a compact columnar form (block table + event arrays);
+- ``baseline`` — the standalone-MIPS :class:`SystemMetrics` of a trace
+  under one timing model;
+- ``metrics`` — the accelerated :class:`SystemMetrics` of one
+  (trace, system configuration) cell.
+
+Every key is a SHA-256 over (a) a format version constant, (b) a *code
+fingerprint* — the hash of every Python source file under the installed
+``repro`` package — and (c) the artifact's own identity: the workload
+name and mini-C source text, the timing-model fields, and (for cells)
+the full system-configuration fingerprint.  Hashing the package source
+makes invalidation automatic: any change to the simulator, compiler,
+translator or evaluator produces new keys, so stale results can never be
+served after a code edit.  The version constant exists for forced
+invalidation when the *storage format* changes without a code change.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep
+workers can share one cache directory; unreadable or truncated entries
+are treated as misses and removed.  The default location is
+``$REPRO_CACHE_DIR``, falling back to ``~/.cache/repro/artifacts``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Optional
+
+from repro.sim.trace import BlockTable, Trace, TraceEvent
+
+#: bump to orphan every existing entry (storage-format changes).
+FORMAT_VERSION = 1
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (computed once)."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "artifacts"
+
+
+def _encode_trace(trace: Trace) -> dict:
+    """Columnar trace encoding: ~10x fewer pickled objects than events."""
+    ids = array("I", (event.block_id for event in trace.events))
+    taken = bytes(1 if event.taken else 0 for event in trace.events)
+    return {"table": trace.table, "event_ids": ids, "event_taken": taken}
+
+
+def _decode_trace(payload: dict) -> Trace:
+    table: BlockTable = payload["table"]
+    events = [TraceEvent(block_id, taken != 0)
+              for block_id, taken in zip(payload["event_ids"],
+                                         payload["event_taken"])]
+    return Trace(table, events)
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with hit/miss accounting."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys.
+    # ------------------------------------------------------------------
+    def key(self, kind: str, *parts: object) -> str:
+        """Stable content hash for one artifact identity."""
+        digest = hashlib.sha256()
+        digest.update(f"v{FORMAT_VERSION}".encode())
+        digest.update(code_fingerprint().encode())
+        digest.update(kind.encode())
+        for part in parts:
+            digest.update(b"\0")
+            digest.update(repr(part).encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Generic object storage.
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[object]:
+        """The stored object, or None on a miss (miss is counted)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+            if record.get("key") == key:
+                self.hits += 1
+                return record["payload"]
+        except FileNotFoundError:
+            pass
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, KeyError, ValueError):
+            # damaged or foreign entry: drop it so it cannot recur
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.misses += 1
+        return None
+
+    def store(self, key: str, payload: object) -> None:
+        """Atomically persist one artifact (safe under concurrency)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"key": key, "payload": payload}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(record, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Trace-specific wrappers (columnar encoding).
+    # ------------------------------------------------------------------
+    def load_trace(self, key: str) -> Optional[Trace]:
+        payload = self.load(key)
+        if payload is None:
+            return None
+        return _decode_trace(payload)
+
+    def store_trace(self, key: str, trace: Trace) -> None:
+        self.store(key, _encode_trace(trace))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,435 @@
+"""Matrix sweep engine: trace-once / replay-many design-space evaluation.
+
+The paper's headline results are a *matrix* — 18 workloads crossed with
+~19 system configurations — but evaluating it as independent (workload,
+system) cells repeats enormous amounts of work: the functional trace of
+a workload is configuration-independent, the standalone-MIPS baseline
+depends only on (trace, timing model), and the DIM translations of two
+systems that differ only in reconfiguration-cache slots are identical.
+
+This module evaluates the whole matrix with maximal sharing, in three
+layers:
+
+1. **Trace once per run** — each workload is simulated at most once per
+   sweep no matter how many configurations replay it; cells fan out over
+   a per-workload work unit (serial or across a process pool).
+2. **Translation memo** — all configurations of one workload share a
+   probe-validated :class:`~repro.dim.memo.TranslationMemo`, so
+   configurations differing only in cache slots (or timing) reuse
+   DIM translation + CGRA line allocation instead of recomputing it.
+3. **Persistent artifacts** — traces, baselines and per-cell metrics are
+   stored in a content-addressed on-disk cache
+   (:mod:`repro.system.artifacts`) keyed by workload source, timing
+   model and a fingerprint of the package source, so cold processes,
+   repeated bench runs and CI skip tracing (and replaying) entirely.
+
+All three layers are transparent: :func:`evaluate_matrix` output is
+byte-identical to looping :func:`repro.workloads.suite.evaluate_suite`
+over the same configurations, serial or parallel, cold or warm cache —
+the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.dim.memo import TranslationMemo
+from repro.sim.stats import TimingModel
+from repro.sim.trace import Trace
+from repro.system.artifacts import ArtifactCache
+from repro.system.config import (
+    PAPER_CACHE_SLOTS,
+    SystemConfig,
+    paper_system,
+)
+from repro.system.energy import EnergyParams
+from repro.system.traceeval import (
+    SystemMetrics,
+    baseline_metrics,
+    evaluate_trace,
+)
+from repro.workloads import get_workload, run_workload, workload_names
+
+if TYPE_CHECKING:
+    from repro.workloads.suite import SuiteResult
+
+#: in-process trace cache for traces recovered from disk artifacts
+#: (run_workload keeps its own cache for traces it simulated).
+_DISK_TRACES: Dict[str, Trace] = {}
+
+
+def paper_matrix() -> List[SystemConfig]:
+    """Table 2's system list: C1-C3 x {no-spec, spec} x {16, 64, 256}
+    slots, plus the two Ideal columns — 20 configurations."""
+    configs = [paper_system(array, slots, spec)
+               for array in ("C1", "C2", "C3")
+               for spec in (False, True)
+               for slots in PAPER_CACHE_SLOTS]
+    configs += [paper_system("ideal", speculation=spec)
+                for spec in (False, True)]
+    return configs
+
+
+# ----------------------------------------------------------------------
+# Instrumentation.
+# ----------------------------------------------------------------------
+@dataclass
+class SweepInstrumentation:
+    """Phase timings and cache counters for one matrix evaluation."""
+
+    workloads: int = 0
+    systems: int = 0
+    cells: int = 0
+    jobs: int = 1
+    #: wall-clock of the whole evaluate_matrix call.
+    total_seconds: float = 0.0
+    #: time spent obtaining traces (simulation or artifact load).
+    #: Phase seconds are summed over pool workers, so with ``jobs > 1``
+    #: they can exceed ``total_seconds``.
+    trace_seconds: float = 0.0
+    #: time spent replaying cells (baselines + accelerated metrics).
+    replay_seconds: float = 0.0
+    #: how each workload's trace was obtained.
+    traces_simulated: int = 0
+    traces_from_disk: int = 0
+    traces_in_memory: int = 0
+    #: per-cell outcome: replayed live vs served from disk artifacts.
+    cells_replayed: int = 0
+    cells_from_disk: int = 0
+    baselines_computed: int = 0
+    baselines_from_disk: int = 0
+    #: translation-memo totals across all workloads.
+    alloc_hits: int = 0
+    alloc_misses: int = 0
+    #: artifact-cache totals (trace + baseline + metrics lookups).
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_stores: int = 0
+
+    @property
+    def alloc_hit_rate(self) -> float:
+        total = self.alloc_hits + self.alloc_misses
+        return self.alloc_hits / total if total else 0.0
+
+    @property
+    def artifact_hit_rate(self) -> float:
+        total = self.artifact_hits + self.artifact_misses
+        return self.artifact_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["alloc_hit_rate"] = self.alloc_hit_rate
+        payload["artifact_hit_rate"] = self.artifact_hit_rate
+        return payload
+
+    def merge_counters(self, other: "SweepInstrumentation") -> None:
+        """Fold a worker's counters into this (parent) record."""
+        for name in ("trace_seconds", "replay_seconds",
+                     "traces_simulated", "traces_from_disk",
+                     "traces_in_memory", "cells_replayed",
+                     "cells_from_disk", "baselines_computed",
+                     "baselines_from_disk", "alloc_hits", "alloc_misses",
+                     "artifact_hits", "artifact_misses",
+                     "artifact_stores"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+# ----------------------------------------------------------------------
+# Artifact keys.
+# ----------------------------------------------------------------------
+#: the timing model the functional tracer runs under (traces themselves
+#: are timing-independent, but the key records the model for provenance
+#: and forward-compatibility with configurable tracers).
+TRACE_TIMING = TimingModel()
+
+
+def trace_artifact_key(cache: ArtifactCache, name: str) -> str:
+    source = get_workload(name).source
+    return cache.key("trace", name, source, TRACE_TIMING)
+
+
+def baseline_artifact_key(cache: ArtifactCache, name: str,
+                          timing: TimingModel) -> str:
+    source = get_workload(name).source
+    return cache.key("baseline", name, source, TRACE_TIMING, timing)
+
+
+def metrics_artifact_key(cache: ArtifactCache, name: str,
+                         config: SystemConfig) -> str:
+    source = get_workload(name).source
+    return cache.key("metrics", name, source, TRACE_TIMING, config)
+
+
+# ----------------------------------------------------------------------
+# Trace acquisition (layer 1 + layer 3).
+# ----------------------------------------------------------------------
+def _obtain_trace(name: str, fast: bool, cache: Optional[ArtifactCache],
+                  inst: SweepInstrumentation) -> Trace:
+    """One workload's trace: in-process cache, disk artifact, or trace."""
+    from repro.workloads import _RUNS  # the run_workload cache
+
+    start = time.perf_counter()
+    try:
+        cached_run = _RUNS.get(name)
+        if cached_run is not None:
+            inst.traces_in_memory += 1
+            return cached_run.trace
+        cached_trace = _DISK_TRACES.get(name)
+        if cached_trace is not None:
+            inst.traces_in_memory += 1
+            return cached_trace
+        if cache is not None:
+            key = trace_artifact_key(cache, name)
+            trace = cache.load_trace(key)
+            if trace is not None:
+                _DISK_TRACES[name] = trace
+                inst.traces_from_disk += 1
+                return trace
+        trace = run_workload(name, fast=fast).trace
+        inst.traces_simulated += 1
+        if cache is not None:
+            cache.store_trace(key, trace)
+        return trace
+    finally:
+        inst.trace_seconds += time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Replay (layer 2 + layer 3).
+# ----------------------------------------------------------------------
+def replay_workload(trace: Trace, configs: Sequence[SystemConfig],
+                    memo: Optional[TranslationMemo] = None,
+                    name: str = "") -> List[SystemMetrics]:
+    """Replay one trace under many configurations with shared
+    translations.  Results are identical to independent
+    :func:`evaluate_trace` calls."""
+    memo = memo if memo is not None else TranslationMemo()
+    return [evaluate_trace(trace, config, name=name, memo=memo)
+            for config in configs]
+
+
+def replay_matrix(traces: Mapping[str, Trace],
+                  configs: Sequence[SystemConfig],
+                  cache: Optional[ArtifactCache] = None
+                  ) -> Dict[Tuple[str, int], SystemMetrics]:
+    """Metrics for every (workload, configuration index) cell.
+
+    The metrics-level sibling of :func:`evaluate_matrix`, used by the
+    benchmark harnesses that aggregate raw :class:`SystemMetrics`.
+    Traces must be supplied; per-cell metrics are shared through the
+    disk cache when the trace belongs to a named workload.
+    """
+    known = set(workload_names())
+    results: Dict[Tuple[str, int], SystemMetrics] = {}
+    for name, trace in traces.items():
+        cacheable = cache is not None and name in known
+        keys = [metrics_artifact_key(cache, name, config)
+                if cacheable else None for config in configs]
+        memo: Optional[TranslationMemo] = None
+        for index, config in enumerate(configs):
+            metrics = cache.load(keys[index]) if cacheable else None
+            if metrics is None:
+                if memo is None:
+                    memo = TranslationMemo()
+                metrics = evaluate_trace(trace, config, name=name,
+                                         memo=memo)
+                if cacheable:
+                    cache.store(keys[index], metrics)
+            results[(name, index)] = metrics
+    return results
+
+
+def _sweep_workload(name: str, configs: Sequence[SystemConfig],
+                    fast: bool, cache: Optional[ArtifactCache]
+                    ) -> Tuple[Dict[TimingModel, SystemMetrics],
+                               List[SystemMetrics], SweepInstrumentation]:
+    """All cells of one workload row, with maximal sharing.
+
+    Returns the per-timing baselines, one accelerated metrics per
+    configuration, and the row's instrumentation counters.
+    """
+    inst = SweepInstrumentation()
+    trace: Optional[Trace] = None
+
+    def ensure_trace() -> Trace:
+        nonlocal trace
+        if trace is None:
+            trace = _obtain_trace(name, fast, cache, inst)
+        return trace
+
+    # accelerated metrics, one per configuration, disk-cached per cell
+    cell_metrics: List[SystemMetrics] = []
+    memo: Optional[TranslationMemo] = None
+    for config in configs:
+        metrics = None
+        if cache is not None:
+            metrics = cache.load(metrics_artifact_key(cache, name, config))
+        if metrics is None:
+            body = ensure_trace()
+            replay_start = time.perf_counter()
+            if memo is None:
+                memo = TranslationMemo()
+            metrics = evaluate_trace(body, config, name=name, memo=memo)
+            inst.replay_seconds += time.perf_counter() - replay_start
+            inst.cells_replayed += 1
+            if cache is not None:
+                cache.store(metrics_artifact_key(cache, name, config),
+                            metrics)
+        else:
+            inst.cells_from_disk += 1
+        cell_metrics.append(metrics)
+
+    # baselines, one per distinct core timing model
+    baselines: Dict[TimingModel, SystemMetrics] = {}
+    for config in configs:
+        if config.timing in baselines:
+            continue
+        base = None
+        if cache is not None:
+            base = cache.load(
+                baseline_artifact_key(cache, name, config.timing))
+        if base is None:
+            body = ensure_trace()
+            replay_start = time.perf_counter()
+            base = baseline_metrics(body, config.timing)
+            inst.replay_seconds += time.perf_counter() - replay_start
+            inst.baselines_computed += 1
+            if cache is not None:
+                cache.store(
+                    baseline_artifact_key(cache, name, config.timing),
+                    base)
+        else:
+            inst.baselines_from_disk += 1
+        baselines[config.timing] = base
+
+    if memo is not None:
+        inst.alloc_hits += memo.hits
+        inst.alloc_misses += memo.misses
+    if cache is not None:
+        inst.artifact_hits += cache.hits
+        inst.artifact_misses += cache.misses
+        inst.artifact_stores += cache.stores
+    return baselines, cell_metrics, inst
+
+
+def _matrix_worker(args) -> Tuple[str, Dict[TimingModel, SystemMetrics],
+                                  List[SystemMetrics],
+                                  SweepInstrumentation]:
+    """Process-pool entry point: one workload row of the matrix."""
+    name, configs, fast, cache_root = args
+    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    baselines, cell_metrics, inst = _sweep_workload(name, configs, fast,
+                                                    cache)
+    return name, baselines, cell_metrics, inst
+
+
+# ----------------------------------------------------------------------
+# The matrix API.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MatrixResult:
+    """Everything one matrix evaluation produced."""
+
+    names: List[str]
+    suites: List[SuiteResult]
+    instrumentation: SweepInstrumentation = field(
+        default_factory=SweepInstrumentation)
+
+    def suite(self, system: str) -> SuiteResult:
+        for candidate in self.suites:
+            if candidate.system == system:
+                return candidate
+        raise KeyError(f"no system {system!r} in this matrix")
+
+    def results_json(self) -> str:
+        """Deterministic report of the matrix results.
+
+        Byte-identical across serial/parallel execution and cold/warm
+        artifact caches; instrumentation (which carries timings) is
+        deliberately excluded — see :meth:`instrumentation_json`.
+        """
+        return json.dumps({
+            "workloads": self.names,
+            "systems": [{
+                "system": suite.system,
+                "geomean_speedup": suite.geomean_speedup,
+                "geomean_energy_ratio": suite.geomean_energy_ratio,
+                "results": [r.as_dict() for r in suite.results],
+            } for suite in self.suites],
+        }, indent=2)
+
+    def instrumentation_json(self) -> str:
+        return json.dumps(self.instrumentation.as_dict(), indent=2)
+
+
+def evaluate_matrix(configs: Sequence[SystemConfig],
+                    names: Optional[Iterable[str]] = None,
+                    energy_params: EnergyParams = EnergyParams(),
+                    jobs: int = 1,
+                    fast: bool = False,
+                    cache: Optional[ArtifactCache] = None,
+                    cache_dir: Optional[Path] = None) -> MatrixResult:
+    """Evaluate the full workloads x configurations matrix.
+
+    Per-configuration rows of the result are byte-identical (as JSON) to
+    ``evaluate_suite(config, names)`` — the sharing layers never change
+    numbers, only wall-clock.  ``jobs > 1`` fans workload rows across a
+    process pool.  Pass ``cache`` (or ``cache_dir``) to persist and
+    reuse trace/baseline/metrics artifacts across processes.
+    """
+    # deferred to dodge the repro.workloads.suite <-> repro.system cycle
+    from repro.workloads.suite import SuiteResult, result_from_metrics
+
+    start = time.perf_counter()
+    if cache is None and cache_dir is not None:
+        cache = ArtifactCache(cache_dir)
+    configs = list(configs)
+    names = list(names) if names is not None else workload_names()
+    inst = SweepInstrumentation(workloads=len(names), systems=len(configs),
+                                cells=len(names) * len(configs),
+                                jobs=max(1, jobs))
+
+    rows: Dict[str, Tuple[Dict[TimingModel, SystemMetrics],
+                          List[SystemMetrics]]] = {}
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(name, configs, fast,
+                  cache.root if cache is not None else None)
+                 for name in names]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            for name, baselines, cells, row_inst in pool.map(
+                    _matrix_worker, tasks):
+                rows[name] = (baselines, cells)
+                inst.merge_counters(row_inst)
+    else:
+        for name in names:
+            baselines, cells, row_inst = _sweep_workload(name, configs,
+                                                         fast, cache)
+            rows[name] = (baselines, cells)
+            inst.merge_counters(row_inst)
+
+    suites = []
+    for index, config in enumerate(configs):
+        results = []
+        for name in names:
+            baselines, cells = rows[name]
+            results.append(result_from_metrics(
+                name, config, baselines[config.timing], cells[index],
+                energy_params))
+        suites.append(SuiteResult(config.name, results))
+    inst.total_seconds = time.perf_counter() - start
+    return MatrixResult(names=names, suites=suites, instrumentation=inst)

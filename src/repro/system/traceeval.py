@@ -13,14 +13,16 @@ magnitude faster, which is what makes the paper's 18-workload x
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from functools import lru_cache
+from typing import Optional, Set, Tuple
 
 from repro.dim.engine import DimEngine, DimStats
+from repro.dim.memo import TranslationMemo
 from repro.isa.opcodes import InstrClass
 from repro.sim.stats import TimingModel
 from repro.sim.trace import BasicBlock, Trace
 from repro.system.config import SystemConfig
-from repro.system.costmodel import shared_cost_model
+from repro.system.costmodel import BlockCostModel, shared_cost_model
 
 
 @dataclass
@@ -91,31 +93,32 @@ def _account_normal(metrics: SystemMetrics, model: BlockCostModel,
 #: whole sweep: replaying one block table under all 18 paper systems hits
 #: this cache 17 times out of 18.  Keyed by block *identity* (blocks use
 #: identity hashing), so entries from different workloads never collide.
-_PREFIX_MEM_OPS: Dict[Tuple[BasicBlock, int], Tuple[int, int]] = {}
-
-
+#: LRU-bounded so a long-lived sweep process does not pin every block of
+#: every workload it ever replayed (the full 18-workload suite uses a few
+#: thousand entries, well inside the bound).
+@lru_cache(maxsize=65536)
 def _prefix_mem_ops(block: BasicBlock, covered: int) -> Tuple[int, int]:
-    key = (block, covered)
-    counts = _PREFIX_MEM_OPS.get(key)
-    if counts is None:
-        loads = stores = 0
-        for instr in block.instructions[:covered]:
-            if instr.klass is InstrClass.LOAD:
-                loads += 1
-            elif instr.klass is InstrClass.STORE:
-                stores += 1
-        counts = (loads, stores)
-        _PREFIX_MEM_OPS[key] = counts
-    return counts
+    loads = stores = 0
+    for instr in block.instructions[:covered]:
+        if instr.klass is InstrClass.LOAD:
+            loads += 1
+        elif instr.klass is InstrClass.STORE:
+            stores += 1
+    return (loads, stores)
 
 
 def evaluate_trace(trace: Trace, config: SystemConfig,
-                   name: str = "") -> SystemMetrics:
+                   name: str = "",
+                   memo: Optional["TranslationMemo"] = None
+                   ) -> SystemMetrics:
     """Replay a trace through a DIM system; returns its metrics.
 
     The replay mirrors :class:`repro.system.coupled.CoupledSimulator`
     decision for decision: same lookup points, same translation and
     extension triggers, same speculation resolution and flush policy.
+    ``memo`` optionally shares translation work with other evaluations
+    of the same trace (see :mod:`repro.dim.memo`); it never changes the
+    returned metrics.
     """
     model = shared_cost_model(config.timing)
     table = trace.table
@@ -126,7 +129,8 @@ def evaluate_trace(trace: Trace, config: SystemConfig,
             return None
         return table.get_by_pc(pc)
 
-    engine = DimEngine(config.shape, config.dim, provider)
+    engine = DimEngine(config.shape, config.dim, provider,
+                       translation_memo=memo)
     metrics = SystemMetrics(name=name or config.name)
     events = trace.events
     n = len(events)

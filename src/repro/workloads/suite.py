@@ -13,7 +13,11 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.system.config import SystemConfig, paper_system
 from repro.system.energy import EnergyParams, energy_ratio
-from repro.system.traceeval import baseline_metrics, evaluate_trace
+from repro.system.traceeval import (
+    SystemMetrics,
+    baseline_metrics,
+    evaluate_trace,
+)
 from repro.workloads import run_workload, workload_names
 
 
@@ -67,13 +71,16 @@ class SuiteResult:
         }, indent=2)
 
 
-def _evaluate_one(name: str, config: SystemConfig,
-                  energy_params: EnergyParams,
-                  fast: bool) -> WorkloadResult:
-    """Trace and evaluate a single workload (also the pool entry point)."""
-    plain = run_workload(name, fast=fast)
-    base = baseline_metrics(plain.trace, config.timing)
-    metrics = evaluate_trace(plain.trace, config, name=name)
+def result_from_metrics(name: str, config: SystemConfig,
+                        base: SystemMetrics, metrics: SystemMetrics,
+                        energy_params: EnergyParams) -> WorkloadResult:
+    """Fold (baseline, accelerated) metrics into one result row.
+
+    This is the single place a :class:`WorkloadResult` is derived from
+    metrics: :func:`evaluate_suite` and the matrix sweep engine
+    (:mod:`repro.system.sweep`) both route through it, which is what
+    guarantees their JSON outputs agree byte for byte.
+    """
     return WorkloadResult(
         workload=name,
         system=config.name,
@@ -89,6 +96,16 @@ def _evaluate_one(name: str, config: SystemConfig,
         misspeculations=metrics.dim.misspeculations,
         flushes=metrics.dim.flushes,
     )
+
+
+def _evaluate_one(name: str, config: SystemConfig,
+                  energy_params: EnergyParams,
+                  fast: bool) -> WorkloadResult:
+    """Trace and evaluate a single workload (also the pool entry point)."""
+    plain = run_workload(name, fast=fast)
+    base = baseline_metrics(plain.trace, config.timing)
+    metrics = evaluate_trace(plain.trace, config, name=name)
+    return result_from_metrics(name, config, base, metrics, energy_params)
 
 
 def _suite_worker(args) -> WorkloadResult:

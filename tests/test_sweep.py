@@ -1,0 +1,201 @@
+"""The matrix sweep engine: transparency of all three sharing layers.
+
+The contract under test is strong: :func:`evaluate_matrix` must produce
+JSON *byte-identical* to looping :func:`evaluate_suite` over the same
+configurations — serial or parallel, cold or warm artifact cache — and
+the memoization layers must never change a single metric.
+"""
+
+import pickle
+import typing
+
+import pytest
+
+from repro.cli import main
+from repro.dim.memo import TranslationMemo, policy_key
+from repro.system import paper_system
+from repro.system.artifacts import ArtifactCache
+from repro.system.sweep import (
+    evaluate_matrix,
+    paper_matrix,
+    replay_matrix,
+    trace_artifact_key,
+)
+from repro.system.traceeval import evaluate_trace
+from repro.workloads import run_workload
+from repro.workloads.suite import evaluate_suite
+
+WORKLOADS = ("crc", "sha", "quicksort")
+
+
+def small_configs():
+    return [
+        paper_system("C1", 16, False),
+        paper_system("C2", 64, True),
+        paper_system("C3", 256, True),
+        paper_system("ideal", speculation=True),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Byte-identity with the per-config suite API.
+# ----------------------------------------------------------------------
+def test_matrix_matches_looped_suite():
+    configs = small_configs()
+    matrix = evaluate_matrix(configs, names=WORKLOADS, fast=True)
+    for config in configs:
+        suite = evaluate_suite(config, names=WORKLOADS, fast=True)
+        assert matrix.suite(config.name).to_json() == suite.to_json()
+
+
+def test_parallel_matches_serial():
+    configs = small_configs()
+    serial = evaluate_matrix(configs, names=WORKLOADS, fast=True)
+    parallel = evaluate_matrix(configs, names=WORKLOADS, fast=True,
+                               jobs=2)
+    assert serial.results_json() == parallel.results_json()
+    assert parallel.instrumentation.jobs == 2
+
+
+def test_warm_disk_cache_identical_and_hits(tmp_path):
+    configs = small_configs()
+    cold = evaluate_matrix(configs, names=WORKLOADS, fast=True,
+                           cache=ArtifactCache(tmp_path))
+    assert cold.instrumentation.artifact_stores > 0
+    warm = evaluate_matrix(configs, names=WORKLOADS, fast=True,
+                           cache=ArtifactCache(tmp_path))
+    assert warm.results_json() == cold.results_json()
+    inst = warm.instrumentation
+    assert inst.traces_simulated == 0
+    assert inst.cells_replayed == 0
+    assert inst.cells_from_disk == len(WORKLOADS) * len(configs)
+    assert inst.artifact_hits > 0
+    assert inst.artifact_hit_rate == 1.0
+
+
+def test_warm_cache_parallel_identical(tmp_path):
+    configs = small_configs()
+    cold = evaluate_matrix(configs, names=WORKLOADS, fast=True,
+                           cache=ArtifactCache(tmp_path), jobs=2)
+    warm = evaluate_matrix(configs, names=WORKLOADS, fast=True,
+                           cache=ArtifactCache(tmp_path))
+    assert warm.results_json() == cold.results_json()
+
+
+# ----------------------------------------------------------------------
+# The metrics-level API and the translation memo.
+# ----------------------------------------------------------------------
+def test_replay_matrix_matches_fresh_evaluations():
+    configs = small_configs()
+    traces = {name: run_workload(name, fast=True).trace
+              for name in WORKLOADS}
+    cells = replay_matrix(traces, configs)
+    for name, trace in traces.items():
+        for index, config in enumerate(configs):
+            fresh = evaluate_trace(trace, config, name=name)
+            assert cells[(name, index)] == fresh
+
+
+def test_memo_shares_translations_across_slot_variants():
+    trace = run_workload("crc", fast=True).trace
+    memo = TranslationMemo()
+    first = evaluate_trace(trace, paper_system("C2", 16, True), memo=memo)
+    misses_after_first = memo.misses
+    second = evaluate_trace(trace, paper_system("C2", 256, True),
+                            memo=memo)
+    # the slot-count change shares the memo partition entirely
+    assert memo.misses == misses_after_first
+    assert memo.hits > 0
+    assert first == evaluate_trace(trace, paper_system("C2", 16, True))
+    assert second == evaluate_trace(trace, paper_system("C2", 256, True))
+
+
+def test_policy_key_ignores_cache_geometry():
+    a = paper_system("C2", 16, True).dim
+    b = paper_system("C2", 256, True).dim
+    assert policy_key(a) == policy_key(b)
+
+
+def test_memo_bounds_variants_per_key():
+    assert TranslationMemo.MAX_VARIANTS < 100
+
+
+# ----------------------------------------------------------------------
+# The artifact cache.
+# ----------------------------------------------------------------------
+def test_artifact_roundtrip_and_corruption(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit-test", 42)
+    assert cache.load(key) is None          # cold miss
+    cache.store(key, {"cycles": 123})
+    assert cache.load(key) == {"cycles": 123}
+    path = cache._path(key)
+    path.write_bytes(b"not a pickle")
+    assert cache.load(key) is None          # corruption -> miss
+    assert not path.exists()                # ...and the entry is dropped
+
+
+def test_artifact_key_rejects_wrong_record(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key_a = cache.key("metrics", "a")
+    key_b = cache.key("metrics", "b")
+    cache.store(key_a, 1)
+    # simulate a hash collision / copied file: record key mismatch
+    cache._path(key_b).parent.mkdir(parents=True, exist_ok=True)
+    cache._path(key_b).write_bytes(
+        pickle.dumps({"key": key_a, "payload": 1}))
+    assert cache.load(key_b) is None
+
+
+def test_trace_artifact_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    trace = run_workload("crc", fast=True).trace
+    key = trace_artifact_key(cache, "crc")
+    cache.store_trace(key, trace)
+    loaded = cache.load_trace(key)
+    assert loaded is not None
+    assert len(loaded.events) == len(trace.events)
+    config = paper_system("C2", 64, True)
+    assert evaluate_trace(loaded, config) == evaluate_trace(trace, config)
+
+
+# ----------------------------------------------------------------------
+# CLI and plumbing.
+# ----------------------------------------------------------------------
+def test_cli_sweep_writes_reports(tmp_path, capsys):
+    report = tmp_path / "matrix.json"
+    inst_path = tmp_path / "inst.json"
+    assert main(["sweep", "--only", "crc", "--arrays", "C1",
+                 "--slots", "16", "--spec", "on", "--fast",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--json", str(report),
+                 "--instrumentation", str(inst_path)]) == 0
+    out = capsys.readouterr().out
+    assert "geomean speedup" in out
+    assert "alloc memo" in out
+    assert report.exists() and inst_path.exists()
+    assert "\"workloads\"" in report.read_text()
+    assert "\"artifact_hit_rate\"" in inst_path.read_text()
+
+
+def test_paper_matrix_shape():
+    configs = paper_matrix()
+    assert len(configs) == 20
+    assert len({config.name for config in configs}) == 20
+
+
+def test_traceeval_annotations_resolve():
+    # the BlockCostModel forward reference used to be undefined at
+    # runtime; get_type_hints would raise NameError.
+    import repro.system.traceeval as traceeval
+    for name in dir(traceeval):
+        obj = getattr(traceeval, name)
+        if callable(obj) and getattr(obj, "__module__", "") == \
+                "repro.system.traceeval":
+            typing.get_type_hints(obj)
+
+
+def test_prefix_mem_ops_is_bounded():
+    from repro.system.traceeval import _prefix_mem_ops
+    info = _prefix_mem_ops.cache_info()
+    assert info.maxsize is not None and info.maxsize > 0
