@@ -7,17 +7,50 @@ translator that maps runs of MIPS instructions onto a coarse-grained
 reconfigurable array, caches the resulting configurations, and speculates
 across basic blocks with a bimodal predictor.
 
-Top-level convenience API
--------------------------
-- :func:`repro.asm.assemble` — assemble MIPS source to a loadable program.
-- :func:`repro.minic.compile_to_program` — compile mini-C to a program.
-- :class:`repro.sim.Simulator` — the plain MIPS core.
-- :class:`repro.system.CoupledSimulator` — MIPS + DIM + array, bit-exact.
-- :func:`repro.system.evaluate_trace` — fast trace-driven evaluation.
-- :data:`repro.system.PAPER_CONFIGS` — Table 1's three array shapes.
-- :func:`repro.workloads.load_workload` — the 18 MiBench-analog kernels.
+Stable API (the :mod:`repro.api` facade)
+----------------------------------------
+- :func:`repro.build_config` — construct a Table 1 system configuration.
+- :func:`repro.run` — run one target plain and accelerated, bit-exact.
+- :func:`repro.evaluate` — the Table 2 suite against one system.
+- :func:`repro.sweep` — a workloads x configurations matrix through the
+  trace-once / replay-many sweep engine.
+- :class:`repro.Telemetry` / :data:`repro.NULL_TELEMETRY` — the unified
+  observability sink accepted by all of the above (:mod:`repro.obs`).
+
+Internal modules (:mod:`repro.sim`, :mod:`repro.dim`,
+:mod:`repro.system`, ...) stay importable for research use, but the
+facade above is the supported surface.
 """
 
-__version__ = "1.0.0"
+from repro.api import (
+    RunComparison,
+    Target,
+    build_config,
+    evaluate,
+    load_target,
+    run,
+    sweep,
+)
+from repro.obs import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "RunComparison",
+    "Target",
+    "build_config",
+    "evaluate",
+    "load_target",
+    "run",
+    "sweep",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetrySnapshot",
+]

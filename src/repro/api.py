@@ -1,0 +1,164 @@
+"""The stable public API facade.
+
+Four verbs cover the package's evaluation surface, re-exported from
+``repro`` itself; internal modules remain importable but are no longer
+the advertised entry points:
+
+- :func:`build_config` — the single way a system configuration is
+  constructed (the CLI routes every subcommand through it).
+- :func:`run` — one target, plain vs accelerated, bit-exact.
+- :func:`evaluate` — the Table 2 suite (or a subset) on one system.
+- :func:`sweep` — the full workloads x configurations matrix through
+  the trace-once / replay-many engine.
+
+All four accept an optional :class:`repro.obs.Telemetry` sink where
+observation makes sense; telemetry never changes any returned number.
+
+>>> import repro
+>>> config = repro.build_config("C3", slots=64, speculation=True)
+>>> result = repro.run("crc", config=config)
+>>> round(result.speedup, 1) > 1.0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.asm import assemble
+from repro.asm.program import Program
+from repro.minic import compile_to_program
+from repro.obs import Telemetry
+from repro.sim.cpu import RunResult, run_program
+from repro.system.artifacts import ArtifactCache
+from repro.system.config import SystemConfig, paper_system
+from repro.system.coupled import CoupledRunResult, run_coupled
+from repro.system.energy import EnergyParams, energy_ratio
+from repro.system.sweep import MatrixResult, evaluate_matrix, paper_matrix
+from repro.system.traceeval import (
+    SystemMetrics,
+    baseline_metrics,
+    evaluate_trace,
+)
+from repro.workloads import load_workload, workload_names
+from repro.workloads.suite import SuiteResult, evaluate_suite
+
+#: a target: workload name, ``.s``/``.asm``/``.c`` path, or a Program.
+Target = Union[str, Program]
+
+
+def build_config(array: str = "C3", slots: int = 64,
+                 speculation: bool = False) -> SystemConfig:
+    """Build a system configuration from Table 1's array names.
+
+    The one configuration constructor every entry point (CLI
+    subcommands included) routes through.  Raises :class:`ValueError`
+    naming the valid arrays on an unknown ``array``.
+    """
+    return paper_system(array, slots, speculation)
+
+
+def load_target(target: Target) -> Program:
+    """Resolve a workload name, assembly/mini-C path, or Program."""
+    if isinstance(target, Program):
+        return target
+    if target in workload_names():
+        return load_workload(target)
+    if target.endswith(".s") or target.endswith(".asm"):
+        with open(target) as handle:
+            return assemble(handle.read())
+    if target.endswith(".c"):
+        with open(target) as handle:
+            return compile_to_program(handle.read(), source_name=target)
+    raise ValueError(
+        f"unknown target {target!r}: expected a workload name "
+        f"(see repro.workloads.workload_names()), a .s file, or a "
+        f".c file")
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """One target run plain and accelerated, with derived metrics."""
+
+    config: SystemConfig
+    plain: RunResult
+    accelerated: CoupledRunResult
+    baseline: SystemMetrics
+    metrics: SystemMetrics
+    energy_params: EnergyParams = EnergyParams()
+
+    @property
+    def speedup(self) -> float:
+        return self.plain.stats.cycles / self.accelerated.stats.cycles
+
+    @property
+    def energy_ratio(self) -> float:
+        """How many times less energy the accelerated system uses."""
+        return energy_ratio(self.baseline, self.metrics,
+                            self.energy_params)
+
+
+def run(target: Target, config: Optional[SystemConfig] = None,
+        fast: bool = False,
+        telemetry: Optional[Telemetry] = None) -> RunComparison:
+    """Run ``target`` on the plain MIPS and on the coupled system.
+
+    The two runs are asserted bit-exact (same program output); the
+    returned comparison carries both raw results plus the trace-driven
+    baseline/accelerated metrics used for energy accounting.
+    """
+    program = load_target(target)
+    config = config if config is not None else build_config()
+    plain = run_program(program, collect_trace=True, fast=fast,
+                        telemetry=telemetry)
+    accelerated = run_coupled(program, config, fast=fast)
+    assert accelerated.output == plain.output, \
+        "accelerated run diverged from the plain run"
+    baseline = baseline_metrics(plain.trace, config.timing)
+    metrics = evaluate_trace(plain.trace, config, telemetry=telemetry)
+    return RunComparison(config=config, plain=plain,
+                         accelerated=accelerated, baseline=baseline,
+                         metrics=metrics)
+
+
+def evaluate(config: Optional[SystemConfig] = None,
+             names: Optional[Iterable[str]] = None,
+             jobs: int = 1, fast: bool = False,
+             energy_params: EnergyParams = EnergyParams()) -> SuiteResult:
+    """Evaluate the whole suite (or ``names``) against one system."""
+    config = config if config is not None else build_config("C2", 64,
+                                                            True)
+    return evaluate_suite(config, names=names, jobs=jobs, fast=fast,
+                          energy_params=energy_params)
+
+
+def sweep(configs: Optional[Sequence[SystemConfig]] = None,
+          names: Optional[Iterable[str]] = None,
+          jobs: int = 1, fast: bool = False,
+          cache: Optional[ArtifactCache] = None,
+          cache_dir: Optional[Path] = None,
+          telemetry: Optional[Telemetry] = None,
+          energy_params: EnergyParams = EnergyParams()) -> MatrixResult:
+    """Evaluate a workloads x configurations matrix.
+
+    Defaults to the paper's full Table 2 matrix
+    (:func:`repro.system.sweep.paper_matrix`).
+    """
+    configs = list(configs) if configs is not None else paper_matrix()
+    return evaluate_matrix(configs, names=names, jobs=jobs, fast=fast,
+                           cache=cache, cache_dir=cache_dir,
+                           telemetry=telemetry,
+                           energy_params=energy_params)
+
+
+__all__ = [
+    "Target",
+    "RunComparison",
+    "build_config",
+    "load_target",
+    "run",
+    "evaluate",
+    "sweep",
+]

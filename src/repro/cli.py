@@ -10,21 +10,32 @@ Usage (installed as ``python -m repro.cli``):
 - ``inspect <file.s|workload> [--array C1] [--spec]`` — translate the
   hottest basic block and render the resulting array configuration.
 - ``characterize <workload>`` — Figure 3-style block profile.
-- ``report <target>`` — full acceleration report: characterisation,
-  speedup/energy, DIM statistics and the hottest configurations.
+- ``report <target> [--metrics]`` — full acceleration report:
+  characterisation, speedup/energy, DIM statistics and the hottest
+  configurations; ``--metrics`` appends the unified telemetry counters
+  as JSON.
 - ``suite [--array C2] [--slots 64] [--spec] [--json out.json]
   [--jobs N] [--only a,b] [--fast]`` — evaluate the whole Table 2 suite
   (or a subset) against one system, optionally fanning workloads across
   ``N`` processes; JSON output is byte-identical for any ``--jobs``.
 - ``sweep [--arrays C1,C2] [--slots 16,64] [--spec both] [--ideal]
   [--only a,b] [--jobs N] [--json out.json] [--instrumentation i.json]
-  [--cache-dir DIR] [--no-cache]`` — evaluate a full workloads x
-  configurations matrix through the trace-once / replay-many sweep
-  engine with persistent artifact caching; defaults to the paper's
-  Table 2 matrix.  Result JSON is byte-identical to per-configuration
-  ``suite`` runs, serial or parallel, cold or warm cache.
+  [--telemetry t.jsonl] [--cache-dir DIR] [--no-cache]`` — evaluate a
+  full workloads x configurations matrix through the trace-once /
+  replay-many sweep engine with persistent artifact caching; defaults
+  to the paper's Table 2 matrix.  Result JSON is byte-identical to
+  per-configuration ``suite`` runs, serial or parallel, cold or warm
+  cache — and identical with or without ``--telemetry``.
 - ``disasm <file.s|file.c|workload>`` — disassemble a target's text
   segment.
+
+Every subcommand that takes a system shares one option parent
+(``--array/--slots/--spec`` plus ``--fast/--jobs/--only`` where they
+apply) and builds its configurations through the single
+:func:`repro.api.build_config` path.  ``--array`` and ``--arrays`` are
+the same option; both accept comma-separated lists, as does
+``--slots``.  Commands that run exactly one system reject selections
+that expand to several.
 """
 
 from __future__ import annotations
@@ -34,37 +45,118 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import blocks_for_coverage, instructions_per_branch
-from repro.asm import assemble
+from repro.api import build_config, load_target
 from repro.asm.program import Program
 from repro.cgra.render import render_configuration
-from repro.dim import BimodalPredictor, DimParams, Translator
-from repro.minic import compile_to_program
+from repro.dim import BimodalPredictor, Translator
+from repro.obs import Telemetry
 from repro.sim import Simulator, run_program
-from repro.system import PAPER_SHAPES, evaluate_trace, paper_system
+from repro.system import evaluate_trace
+from repro.system.config import SystemConfig
 from repro.system.coupled import run_coupled
 from repro.system.energy import energy_ratio
 from repro.system.traceeval import baseline_metrics
-from repro.workloads import all_workloads, load_workload, workload_names
+from repro.workloads import all_workloads, workload_names
+
+_SPEC_VALUES = {"off": (False,), "on": (True,), "both": (False, True)}
 
 
 def _load_target(target: str) -> Program:
     """Resolve a CLI target: workload name, .s assembly, or .c mini-C."""
-    if target in workload_names():
-        return load_workload(target)
-    if target.endswith(".s") or target.endswith(".asm"):
-        with open(target) as handle:
-            return assemble(handle.read())
-    if target.endswith(".c"):
-        with open(target) as handle:
-            return compile_to_program(handle.read(), source_name=target)
-    raise SystemExit(
-        f"unknown target {target!r}: expected a workload name "
-        f"(see 'workloads'), a .s file, or a .c file")
+    try:
+        return load_target(target)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _shared_options(array: Optional[str], slots: str, spec: str,
+                    fast: bool = False, jobs: bool = False,
+                    only: bool = False) -> argparse.ArgumentParser:
+    """The one option parent shared by every system-taking subcommand.
+
+    ``array``/``slots``/``spec`` set per-command defaults; ``fast``,
+    ``jobs`` and ``only`` opt the command into the execution options.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--array", "--arrays", dest="array", default=array,
+        help="comma-separated array names (C1,C2,C3,ideal)")
+    parent.add_argument(
+        "--slots", default=slots,
+        help="comma-separated reconfiguration-cache sizes")
+    parent.add_argument(
+        "--spec", nargs="?", const="on", default=spec,
+        choices=("off", "on", "both"),
+        help="speculation: off, on, or both (bare --spec means on)")
+    if fast:
+        parent.add_argument(
+            "--fast", action="store_true",
+            help="use the block-compiled simulator fast path")
+    if jobs:
+        parent.add_argument(
+            "--jobs", type=int, default=1,
+            help="fan work across N processes (results are "
+                 "byte-identical to --jobs 1)")
+    if only:
+        parent.add_argument(
+            "--only", default=None,
+            help="comma-separated workload subset")
+    return parent
+
+
+def _build_configs(args: argparse.Namespace) -> List[SystemConfig]:
+    """Expand ``--array/--slots/--spec`` into system configurations.
+
+    The single config-construction path for every subcommand; all
+    validation errors surface as :class:`SystemExit` with the
+    underlying :func:`repro.api.build_config` message.
+    """
+    if args.array is None:
+        from repro.system.sweep import paper_matrix
+
+        return paper_matrix()
+    arrays = [a.strip() for a in args.array.split(",") if a.strip()]
+    try:
+        slot_counts = [int(s) for s in str(args.slots).split(",")
+                       if str(s).strip()]
+    except ValueError:
+        raise SystemExit(f"--slots must be comma-separated integers, "
+                         f"got {args.slots!r}")
+    spec_values = _SPEC_VALUES[args.spec]
+    configs: List[SystemConfig] = []
+    try:
+        for array in arrays:
+            for spec in spec_values:
+                if array == "ideal":
+                    configs.append(build_config("ideal",
+                                                speculation=spec))
+                else:
+                    for slot_count in slot_counts:
+                        configs.append(build_config(array, slot_count,
+                                                    spec))
+        if getattr(args, "ideal", False) and "ideal" not in arrays:
+            for spec in spec_values:
+                configs.append(build_config("ideal", speculation=spec))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not configs:
+        raise SystemExit("no configurations selected")
+    return configs
+
+
+def _single_config(args: argparse.Namespace) -> SystemConfig:
+    configs = _build_configs(args)
+    if len(configs) != 1:
+        raise SystemExit(
+            f"this command runs exactly one system, but "
+            f"--array/--slots/--spec select {len(configs)}; use 'sweep' "
+            f"for a matrix")
+    return configs[0]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_target(args.target)
-    config = paper_system(args.array, args.slots, args.spec)
+    config = _single_config(args)
     plain = run_program(program, collect_trace=True, fast=args.fast)
     print(f"plain MIPS : {plain.stats.cycles:,} cycles, "
           f"{plain.stats.instructions:,} instructions, "
@@ -102,6 +194,7 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     program = _load_target(args.target)
+    config = _single_config(args)
     result = run_program(program, collect_trace=True)
     counts = result.trace.block_execution_counts()
     hottest_id = max(counts, key=lambda b: counts[b] *
@@ -111,17 +204,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
           f"instructions, executed {counts[hottest_id]:,} times\n")
     sim = Simulator(program)
     predictor = BimodalPredictor(512)
-    if args.spec and block.is_conditional:
+    if config.dim.speculation and block.is_conditional:
         for _ in range(3):
             predictor.update(block.branch_pc, True)
-    translator = Translator(PAPER_SHAPES[args.array],
-                            DimParams(speculation=args.spec),
-                            predictor, sim.block_at)
-    config = translator.translate(sim.block_at(block.start_pc))
-    if config is None:
+    translator = Translator(config.shape, config.dim, predictor,
+                            sim.block_at)
+    rendered = translator.translate(sim.block_at(block.start_pc))
+    if rendered is None:
         print("block too short to translate (fewer than 4 instructions)")
         return 1
-    print(render_configuration(config))
+    print(render_configuration(rendered))
     return 0
 
 
@@ -142,16 +234,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.system.report import build_report
 
     program = _load_target(args.target)
-    config = paper_system(args.array, args.slots, args.spec)
-    report = build_report(program, config)
+    config = _single_config(args)
+    telemetry = Telemetry() if args.metrics else None
+    report = build_report(program, config, telemetry=telemetry)
     print(report.render())
+    if telemetry is not None:
+        print("\n=== telemetry ===")
+        print(telemetry.to_json())
     return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.workloads.suite import evaluate_suite, format_suite
 
-    config = paper_system(args.array, args.slots, args.spec)
+    config = _single_config(args)
     names = _parse_workload_subset(args.only)
     result = evaluate_suite(config, names=names, jobs=args.jobs,
                             fast=args.fast)
@@ -173,46 +269,20 @@ def _parse_workload_subset(only: Optional[str]) -> Optional[List[str]]:
     return names
 
 
-def _sweep_configs(args: argparse.Namespace) -> List:
-    from repro.system.sweep import paper_matrix
-
-    if not args.arrays:
-        return paper_matrix()
-    arrays = [a.strip() for a in args.arrays.split(",") if a.strip()]
-    unknown = sorted(set(arrays) - set(PAPER_SHAPES) - {"ideal"})
-    if unknown:
-        raise SystemExit(f"unknown arrays: {', '.join(unknown)}")
-    slots = [int(s) for s in args.slots.split(",") if s.strip()]
-    spec_values = {"off": (False,), "on": (True,),
-                   "both": (False, True)}.get(args.spec)
-    if spec_values is None:
-        raise SystemExit("--spec must be off, on or both")
-    configs = []
-    for array in arrays:
-        for spec in spec_values:
-            if array == "ideal":
-                configs.append(paper_system("ideal", speculation=spec))
-            else:
-                for slot_count in slots:
-                    configs.append(paper_system(array, slot_count, spec))
-    if args.ideal and "ideal" not in arrays:
-        for spec in spec_values:
-            configs.append(paper_system("ideal", speculation=spec))
-    return configs
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.system.artifacts import ArtifactCache, default_cache_dir
     from repro.system.sweep import evaluate_matrix
 
-    configs = _sweep_configs(args)
+    configs = _build_configs(args)
     names = _parse_workload_subset(args.only)
     cache = None
     if not args.no_cache:
         root = args.cache_dir if args.cache_dir else default_cache_dir()
         cache = ArtifactCache(root)
+    telemetry = Telemetry() if args.telemetry else None
     matrix = evaluate_matrix(configs, names=names, jobs=args.jobs,
-                             fast=args.fast, cache=cache)
+                             fast=args.fast, cache=cache,
+                             telemetry=telemetry)
 
     print(f"{'system':16s} {'geomean speedup':>16s} "
           f"{'geomean energy':>15s}")
@@ -243,6 +313,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.instrumentation, "w") as handle:
             handle.write(matrix.instrumentation_json())
         print(f"wrote {args.instrumentation}")
+    if telemetry is not None:
+        telemetry.write_jsonl(args.telemetry)
+        print(f"wrote {args.telemetry} ({telemetry.events.emitted} "
+              f"events, {telemetry.events.dropped} dropped)")
     return 0
 
 
@@ -262,27 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
                     "toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run a target plain and accelerated")
+    run_p = sub.add_parser(
+        "run", help="run a target plain and accelerated",
+        parents=[_shared_options("C3", "64", "off", fast=True)])
     run_p.add_argument("target")
-    run_p.add_argument("--array", default="C3",
-                       choices=sorted(PAPER_SHAPES))
-    run_p.add_argument("--slots", type=int, default=64)
-    run_p.add_argument("--spec", action="store_true")
-    run_p.add_argument("--fast", action="store_true",
-                       help="use the block-compiled simulator fast path")
     run_p.set_defaults(func=_cmd_run)
 
     sub.add_parser("workloads",
                    help="list the benchmark suite").set_defaults(
         func=_cmd_workloads)
 
-    inspect_p = sub.add_parser("inspect",
-                               help="render the hottest block's "
-                                    "configuration")
+    inspect_p = sub.add_parser(
+        "inspect", help="render the hottest block's configuration",
+        parents=[_shared_options("C1", "64", "off")])
     inspect_p.add_argument("target")
-    inspect_p.add_argument("--array", default="C1",
-                           choices=sorted(PAPER_SHAPES))
-    inspect_p.add_argument("--spec", action="store_true")
     inspect_p.set_defaults(func=_cmd_inspect)
 
     char_p = sub.add_parser("characterize",
@@ -290,60 +357,38 @@ def build_parser() -> argparse.ArgumentParser:
     char_p.add_argument("target")
     char_p.set_defaults(func=_cmd_characterize)
 
-    report_p = sub.add_parser("report",
-                              help="full acceleration report for a "
-                                   "target")
+    report_p = sub.add_parser(
+        "report", help="full acceleration report for a target",
+        parents=[_shared_options("C2", "64", "off")])
     report_p.add_argument("target")
-    report_p.add_argument("--array", default="C2",
-                          choices=sorted(PAPER_SHAPES))
-    report_p.add_argument("--slots", type=int, default=64)
-    report_p.add_argument("--spec", action="store_true")
+    report_p.add_argument("--metrics", action="store_true",
+                          help="append unified telemetry counters as "
+                               "JSON")
     report_p.set_defaults(func=_cmd_report)
 
-    suite_p = sub.add_parser("suite",
-                             help="evaluate the whole Table 2 suite")
-    suite_p.add_argument("--array", default="C2",
-                         choices=sorted(PAPER_SHAPES))
-    suite_p.add_argument("--slots", type=int, default=64)
-    suite_p.add_argument("--spec", action="store_true")
+    suite_p = sub.add_parser(
+        "suite", help="evaluate the whole Table 2 suite",
+        parents=[_shared_options("C2", "64", "off", fast=True,
+                                 jobs=True, only=True)])
     suite_p.add_argument("--json", default=None,
                          help="also write results as JSON")
-    suite_p.add_argument("--jobs", type=int, default=1,
-                         help="fan workload evaluation across N processes "
-                              "(results are byte-identical to --jobs 1)")
-    suite_p.add_argument("--only", default=None,
-                         help="comma-separated workload subset")
-    suite_p.add_argument("--fast", action="store_true",
-                         help="trace workloads with the block-compiled "
-                              "fast path")
     suite_p.set_defaults(func=_cmd_suite)
 
-    sweep_p = sub.add_parser("sweep",
-                             help="evaluate a workloads x configurations "
-                                  "matrix with the sweep engine")
-    sweep_p.add_argument("--arrays", default=None,
-                         help="comma-separated arrays (C1,C2,C3,ideal); "
-                              "default: the full Table 2 matrix")
-    sweep_p.add_argument("--slots", default="16,64,256",
-                         help="comma-separated reconfiguration-cache "
-                              "sizes (ignored for ideal)")
-    sweep_p.add_argument("--spec", default="both",
-                         choices=("off", "on", "both"),
-                         help="speculation settings to sweep")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="evaluate a workloads x configurations matrix with the "
+             "sweep engine",
+        parents=[_shared_options(None, "16,64,256", "both", fast=True,
+                                 jobs=True, only=True)])
     sweep_p.add_argument("--ideal", action="store_true",
                          help="also include the two Ideal columns")
-    sweep_p.add_argument("--only", default=None,
-                         help="comma-separated workload subset")
-    sweep_p.add_argument("--jobs", type=int, default=1,
-                         help="fan workload rows across N processes "
-                              "(results are byte-identical to --jobs 1)")
-    sweep_p.add_argument("--fast", action="store_true",
-                         help="trace workloads with the block-compiled "
-                              "fast path")
     sweep_p.add_argument("--json", default=None,
                          help="write the deterministic matrix report")
     sweep_p.add_argument("--instrumentation", default=None,
                          help="write phase timings and cache counters")
+    sweep_p.add_argument("--telemetry", default=None,
+                         help="write the unified telemetry event "
+                              "stream as JSONL")
     sweep_p.add_argument("--cache-dir", default=None,
                          help="artifact-cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro)")

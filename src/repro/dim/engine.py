@@ -25,6 +25,7 @@ from repro.dim.translator import BlockProvider, Translator
 if TYPE_CHECKING:
     from repro.dim.memo import TranslationMemo
 from repro.isa.opcodes import InstrClass
+from repro.obs import NULL_TELEMETRY
 from repro.sim.trace import BasicBlock
 
 
@@ -59,12 +60,19 @@ class DimEngine:
 
     def __init__(self, shape: ArrayShape, params: DimParams,
                  block_provider: BlockProvider,
-                 translation_memo: Optional["TranslationMemo"] = None):
+                 translation_memo: Optional["TranslationMemo"] = None,
+                 telemetry=None):
         self.shape = shape
         self.params = params
-        self.predictor = BimodalPredictor(params.predictor_entries)
+        #: telemetry sink shared with the cache and predictor; the
+        #: default null sink keeps every hot path uninstrumented.
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self.predictor = BimodalPredictor(params.predictor_entries,
+                                          telemetry=self.telemetry)
         self.cache = ReconfigurationCache(params.cache_slots,
-                                          params.cache_policy)
+                                          params.cache_policy,
+                                          telemetry=self.telemetry)
         self.translator = Translator(shape, params, self.predictor,
                                      block_provider)
         #: optional cross-engine translation cache (see repro.dim.memo);
@@ -103,6 +111,10 @@ class DimEngine:
             if self.predictor.saturated_direction(last.block.branch_pc) \
                     is None:
                 return config
+        tel = self.telemetry
+        if tel.enabled:
+            tel.emit("translation.started",
+                     pc=config.blocks[0].block.start_pc, reason="extend")
         new = self._translate(config.blocks[0].block)
         self.stats.translations += 1
         if new is not None \
@@ -110,6 +122,13 @@ class DimEngine:
             self.stats.extensions += 1
             self.stats.translated_instructions += new.covered_instructions
             self.stats.config_writes += 1
+            if tel.enabled:
+                tel.emit("speculation.extension", pc=new.start_pc,
+                         covered=new.covered_instructions,
+                         blocks=len(new.blocks))
+                tel.emit("translation.committed", pc=new.start_pc,
+                         covered=new.covered_instructions,
+                         blocks=len(new.blocks))
             self.cache.insert(new)
             return new
         # nothing gained; remember whether a later attempt could help
@@ -127,12 +146,20 @@ class DimEngine:
         """Translate a block that just executed normally from its start."""
         if self.cache.peek(block.start_pc) is not None:
             return
+        tel = self.telemetry
+        if tel.enabled:
+            tel.emit("translation.started", pc=block.start_pc,
+                     reason="retire")
         config = self._translate(block)
         self.stats.translations += 1
         if config is not None:
             self.stats.translated_instructions += \
                 config.covered_instructions
             self.stats.config_writes += 1
+            if tel.enabled:
+                tel.emit("translation.committed", pc=config.start_pc,
+                         covered=config.covered_instructions,
+                         blocks=len(config.blocks))
             self.cache.insert(config)
 
     # ------------------------------------------------------------------
@@ -183,4 +210,11 @@ class DimEngine:
                 self.params.misspec_flush_threshold:
             self.cache.invalidate(config.start_pc)
             self.stats.flushes += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "predictor.flush", pc=config.start_pc,
+                    branch_pc=cfg_block.block.branch_pc if is_cond else 0,
+                    reason="opposite" if opposite else "consecutive")
+                self.telemetry.emit("translation.evicted",
+                                    pc=config.start_pc, reason="flush")
         return False

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs import NULL_TELEMETRY
+
 
 class BimodalPredictor:
     """A table of 2-bit saturating counters indexed by branch PC."""
@@ -18,7 +20,8 @@ class BimodalPredictor:
     WEAK_TAKEN = 2
     STRONG_TAKEN = 3
 
-    def __init__(self, entries: int = 512, initial: int = 1):
+    def __init__(self, entries: int = 512, initial: int = 1,
+                 telemetry=None):
         if entries & (entries - 1):
             raise ValueError("predictor entries must be a power of two")
         self.entries = entries
@@ -27,6 +30,13 @@ class BimodalPredictor:
         self._counters: Dict[int, int] = {}
         self.updates = 0
         self.hits = 0
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        # update() runs once per executed branch: shadow it with the
+        # instrumented variant only when telemetry is enabled, keeping
+        # the disabled path byte-identical to the plain method.
+        if self.telemetry.enabled:
+            self.update = self._traced_update  # type: ignore[assignment]
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) & self._mask
@@ -58,6 +68,11 @@ class BimodalPredictor:
         else:
             counter = max(self.STRONG_NOT_TAKEN, counter - 1)
         self._counters[index] = counter
+
+    def _traced_update(self, pc: int, taken: bool) -> None:
+        BimodalPredictor.update(self, pc, taken)
+        self.telemetry.emit("predictor.update", pc=pc, taken=taken,
+                            counter=self.counter(pc))
 
     @property
     def accuracy(self) -> float:

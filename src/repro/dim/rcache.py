@@ -12,12 +12,13 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro.cgra.configuration import Configuration
+from repro.obs import NULL_TELEMETRY
 
 
 class ReconfigurationCache:
     """PC-indexed configuration store with FIFO or LRU replacement."""
 
-    def __init__(self, slots: int, policy: str = "fifo"):
+    def __init__(self, slots: int, policy: str = "fifo", telemetry=None):
         if slots <= 0:
             raise ValueError("cache needs at least one slot")
         if policy not in ("fifo", "lru"):
@@ -30,6 +31,13 @@ class ReconfigurationCache:
         self.insertions = 0
         self.evictions = 0
         self.invalidations = 0
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        # lookup() runs once per executed block: when telemetry is on,
+        # shadow it with the instrumented variant on the *instance* so
+        # the disabled path keeps the uninstrumented method untouched.
+        if self.telemetry.enabled:
+            self.lookup = self._traced_lookup  # type: ignore[assignment]
 
     def lookup(self, pc: int) -> Optional[Configuration]:
         """Stats-counting lookup, performed once per executed block."""
@@ -40,6 +48,12 @@ class ReconfigurationCache:
             config.hits += 1
             if self.policy == "lru":
                 self._entries.move_to_end(pc)
+        return config
+
+    def _traced_lookup(self, pc: int) -> Optional[Configuration]:
+        config = ReconfigurationCache.lookup(self, pc)
+        self.telemetry.emit(
+            "rcache.hit" if config is not None else "rcache.miss", pc=pc)
         return config
 
     def peek(self, pc: int) -> Optional[Configuration]:
@@ -59,8 +73,10 @@ class ReconfigurationCache:
             self._entries[pc] = config
             return
         if len(self._entries) >= self.slots:
-            self._entries.popitem(last=False)
+            victim_pc, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit("rcache.evict", pc=victim_pc)
         self._entries[pc] = config
         self.insertions += 1
 

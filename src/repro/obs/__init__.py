@@ -1,0 +1,67 @@
+"""``repro.obs`` — the unified telemetry subsystem.
+
+One hierarchy of named counters, timers and a bounded schema'd event
+stream, threaded through every layer that used to keep private
+counters: the simulator and its fast path, the DIM engine with its
+reconfiguration cache and predictor, and the matrix sweep engine.
+
+Entry points
+------------
+- :class:`Telemetry` — a live sink.  Inject one into
+  :func:`repro.system.traceeval.evaluate_trace`,
+  :func:`repro.system.sweep.evaluate_matrix`,
+  :func:`repro.system.coupled.run_coupled` or
+  :func:`repro.sim.run_program`; read ``.counters`` / ``.timers`` /
+  ``.events`` afterwards, or stream with :meth:`Telemetry.write_jsonl`.
+- :data:`NULL_TELEMETRY` — the zero-overhead default every component
+  holds when nothing was injected (< 2 % replay overhead, enforced by
+  ``benchmarks/bench_telemetry_overhead.py``).
+- :meth:`Telemetry.snapshot` / :meth:`Telemetry.diff` — delta
+  assertions for tests and benches.
+- :mod:`repro.obs.schema` — the canonical dotted counter names and the
+  collectors that map legacy stat objects onto them.
+- :mod:`repro.obs.events` — the closed event-type schema and JSONL
+  validation helpers.
+"""
+
+from repro.obs.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+)
+from repro.obs.events import (
+    DEFAULT_MAX_EVENTS,
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    EventLog,
+    validate_event,
+    validate_jsonl,
+)
+from repro.obs.schema import (
+    dim_counters,
+    engine_counters,
+    predictor_counters,
+    rcache_counters,
+    sweep_counters,
+    sweep_timers,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "DEFAULT_MAX_EVENTS",
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "EventLog",
+    "validate_event",
+    "validate_jsonl",
+    "dim_counters",
+    "engine_counters",
+    "predictor_counters",
+    "rcache_counters",
+    "sweep_counters",
+    "sweep_timers",
+]

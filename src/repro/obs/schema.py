@@ -1,0 +1,119 @@
+"""The unified counter schema: one namespaced name per system counter.
+
+Before this module, the same quantities lived under ad-hoc spellings in
+three places — :class:`repro.dim.engine.DimStats` fields, raw attribute
+counters on :class:`repro.dim.rcache.ReconfigurationCache` /
+:class:`repro.dim.predictor.BimodalPredictor`, and
+:class:`repro.system.sweep.SweepInstrumentation`.  Those objects remain
+the in-band carriers (back-compat aliases: their field names are
+unchanged), but the *schema* — the canonical dotted names every export
+uses — is defined here once.
+
+Namespaces:
+
+- ``dim.*``        DIM engine activity (translations, array events, ...)
+- ``rcache.*``     reconfiguration-cache probes and churn
+- ``predictor.*``  bimodal predictor training
+- ``sim.*``        functional simulator totals
+- ``fastpath.*``   block-compiled engine activity
+- ``sweep.*``      matrix sweep engine phases and cache outcomes
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: canonical counter name -> (carrier, legacy attribute) provenance map;
+#: documentation for consumers, and the source of the collectors below.
+DIM_COUNTERS = {
+    "dim.translations": "translations",
+    "dim.translated_instructions": "translated_instructions",
+    "dim.extensions": "extensions",
+    "dim.flushes": "flushes",
+    "dim.array_executions": "array_executions",
+    "dim.array_instructions": "array_instructions",
+    "dim.array_alu_ops": "array_alu_ops",
+    "dim.array_mult_ops": "array_mult_ops",
+    "dim.array_mem_ops": "array_mem_ops",
+    "dim.misspeculations": "misspeculations",
+    "dim.full_commits": "full_commits",
+    "dim.reconfiguration_stalls": "reconfiguration_stalls",
+    "dim.array_cycles": "array_cycles",
+    "dim.array_line_cycles": "array_line_cycles",
+    "dim.array_potential_line_cycles": "array_potential_line_cycles",
+    "dim.config_writes": "config_writes",
+}
+
+RCACHE_COUNTERS = {
+    "rcache.lookups": "lookups",
+    "rcache.hits": "hits",
+    "rcache.insertions": "insertions",
+    "rcache.evictions": "evictions",
+    "rcache.invalidations": "invalidations",
+}
+
+PREDICTOR_COUNTERS = {
+    "predictor.updates": "updates",
+    "predictor.hits": "hits",
+}
+
+SWEEP_COUNTERS = {
+    "sweep.workloads": "workloads",
+    "sweep.systems": "systems",
+    "sweep.cells": "cells",
+    "sweep.traces_simulated": "traces_simulated",
+    "sweep.traces_from_disk": "traces_from_disk",
+    "sweep.traces_in_memory": "traces_in_memory",
+    "sweep.cells_replayed": "cells_replayed",
+    "sweep.cells_from_disk": "cells_from_disk",
+    "sweep.baselines_computed": "baselines_computed",
+    "sweep.baselines_from_disk": "baselines_from_disk",
+    "sweep.alloc_hits": "alloc_hits",
+    "sweep.alloc_misses": "alloc_misses",
+    "sweep.artifact_hits": "artifact_hits",
+    "sweep.artifact_misses": "artifact_misses",
+    "sweep.artifact_stores": "artifact_stores",
+}
+
+SWEEP_TIMERS = {
+    "sweep.total_seconds": "total_seconds",
+    "sweep.trace_seconds": "trace_seconds",
+    "sweep.replay_seconds": "replay_seconds",
+}
+
+
+def _collect(obj, mapping: Dict[str, str]) -> Dict[str, int]:
+    return {name: getattr(obj, attr) for name, attr in mapping.items()}
+
+
+def dim_counters(stats) -> Dict[str, int]:
+    """Canonical counters of a :class:`repro.dim.engine.DimStats`."""
+    return _collect(stats, DIM_COUNTERS)
+
+
+def rcache_counters(cache) -> Dict[str, int]:
+    """Canonical counters of a reconfiguration cache."""
+    return _collect(cache, RCACHE_COUNTERS)
+
+
+def predictor_counters(predictor) -> Dict[str, int]:
+    """Canonical counters of a bimodal predictor."""
+    return _collect(predictor, PREDICTOR_COUNTERS)
+
+
+def engine_counters(engine) -> Dict[str, int]:
+    """All counters of one :class:`repro.dim.engine.DimEngine`."""
+    counters = dim_counters(engine.stats)
+    counters.update(rcache_counters(engine.cache))
+    counters.update(predictor_counters(engine.predictor))
+    return counters
+
+
+def sweep_counters(inst) -> Dict[str, int]:
+    """Canonical integer counters of a ``SweepInstrumentation``."""
+    return _collect(inst, SWEEP_COUNTERS)
+
+
+def sweep_timers(inst) -> Dict[str, float]:
+    """Canonical timer values of a ``SweepInstrumentation``."""
+    return _collect(inst, SWEEP_TIMERS)

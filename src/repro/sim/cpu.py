@@ -16,6 +16,7 @@ simulator can interleave normal execution with array execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.asm.program import Program, STACK_TOP
@@ -27,6 +28,7 @@ from repro.isa.semantics import (
     div_result,
     mult_result,
 )
+from repro.obs import NULL_TELEMETRY
 from repro.sim.cache import CacheHierarchy
 from repro.sim.memory import Memory
 from repro.sim.stats import RunStats, TimingModel
@@ -78,8 +80,11 @@ class Simulator:
                  collect_trace: bool = False,
                  max_instructions: int = 200_000_000,
                  caches: Optional[CacheHierarchy] = None,
-                 fast: bool = False):
+                 fast: bool = False,
+                 telemetry=None):
         self.program = program
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.timing = timing or TimingModel()
         self.collect_trace = collect_trace
         self.caches = caches or CacheHierarchy()
@@ -263,12 +268,20 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute until the program exits."""
+        telemetry = self.telemetry
+        start = _perf_counter() if telemetry.enabled else 0.0
         engine = self._fast_engine
         if engine is not None:
             engine.run_to_exit()
-            return self.result()
-        while self.exit_code is None:
-            self.step()
+        else:
+            while self.exit_code is None:
+                self.step()
+        if telemetry.enabled:
+            telemetry.add_time("sim.run_seconds",
+                               _perf_counter() - start)
+            telemetry.count("sim.runs")
+            telemetry.count("sim.instructions", self.stats.instructions)
+            telemetry.count("sim.cycles", self.stats.cycles)
         return self.result()
 
     def step_block(self) -> StepOutcome:
@@ -332,9 +345,10 @@ def run_program(program: Program, collect_trace: bool = False,
                 timing: Optional[TimingModel] = None,
                 max_instructions: int = 200_000_000,
                 caches: Optional[CacheHierarchy] = None,
-                fast: bool = False) -> RunResult:
+                fast: bool = False,
+                telemetry=None) -> RunResult:
     """One-shot convenience: simulate ``program`` to completion."""
     sim = Simulator(program, timing=timing, collect_trace=collect_trace,
                     max_instructions=max_instructions, caches=caches,
-                    fast=fast)
+                    fast=fast, telemetry=telemetry)
     return sim.run()

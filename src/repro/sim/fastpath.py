@@ -271,6 +271,8 @@ class FastPath:
         if cached is None:
             cached = self._build_factory(pc)
             self._factories[key] = cached
+            if self.sim.telemetry.enabled:
+                self.sim.telemetry.count("fastpath.blocks_compiled")
         factory, length = cached
         sim = self.sim
         # Registering the block at first entry matches the interpreter's

@@ -48,9 +48,14 @@ def paper_system(array: str = "C3", slots: int = 64,
     ``array`` is 'C1', 'C2', 'C3' or 'ideal'; ``slots`` is the
     reconfiguration-cache size (the ideal system gets an effectively
     unbounded cache, matching the paper's "infinite hardware resources"
-    column).
+    column).  An unknown array name raises :class:`ValueError` naming
+    the valid choices.
     """
-    shape = PAPER_SHAPES[array]
+    shape = PAPER_SHAPES.get(array)
+    if shape is None:
+        valid = ", ".join(sorted(PAPER_SHAPES))
+        raise ValueError(
+            f"unknown array {array!r}: valid array names are {valid}")
     if array == "ideal":
         slots = 1 << 20
     dim = DimParams(cache_slots=slots, speculation=speculation)

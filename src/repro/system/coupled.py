@@ -20,6 +20,7 @@ from repro.dim.engine import DimEngine, DimStats
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import InstrClass
 from repro.isa.semantics import alu_result, branch_taken, mult_result
+from repro.obs.schema import engine_counters
 from repro.sim.cpu import Simulator, _load, _store
 from repro.sim.stats import RunStats
 from repro.sim.trace import BasicBlock
@@ -50,15 +51,17 @@ class CoupledSimulator:
 
     def __init__(self, program: Program, config: SystemConfig,
                  max_instructions: int = 200_000_000,
-                 caches=None, fast: bool = False):
+                 caches=None, fast: bool = False, telemetry=None):
         self.config = config
         self.sim = Simulator(program, timing=config.timing,
                              collect_trace=False,
                              max_instructions=max_instructions,
-                             caches=caches, fast=fast)
+                             caches=caches, fast=fast,
+                             telemetry=telemetry)
         self._seen: Set[int] = set()
         self.engine = DimEngine(config.shape, config.dim,
-                                self._block_provider)
+                                self._block_provider,
+                                telemetry=telemetry)
 
     def _block_provider(self, pc: int) -> Optional[BasicBlock]:
         """Successor lookup for the translator.
@@ -99,6 +102,8 @@ class CoupledSimulator:
             entered_at_start = True
             block_start = outcome.next_pc
         cache = engine.cache
+        if engine.telemetry.enabled:
+            engine.telemetry.count_many(engine_counters(engine))
         return CoupledRunResult(
             exit_code=sim.exit_code,
             output="".join(sim.output_parts),
@@ -232,7 +237,9 @@ class CoupledSimulator:
 
 def run_coupled(program: Program, config: SystemConfig,
                 max_instructions: int = 200_000_000,
-                caches=None, fast: bool = False) -> CoupledRunResult:
+                caches=None, fast: bool = False,
+                telemetry=None) -> CoupledRunResult:
     """One-shot convenience wrapper."""
     return CoupledSimulator(program, config, max_instructions,
-                            caches=caches, fast=fast).run()
+                            caches=caches, fast=fast,
+                            telemetry=telemetry).run()

@@ -87,12 +87,17 @@ class AccelerationReport:
 def build_report(program: Program,
                  config: Optional[SystemConfig] = None,
                  energy_params: EnergyParams = EnergyParams(),
-                 max_rendered_configs: int = 2) -> AccelerationReport:
-    """Measure ``program`` and produce an :class:`AccelerationReport`."""
+                 max_rendered_configs: int = 2,
+                 telemetry=None) -> AccelerationReport:
+    """Measure ``program`` and produce an :class:`AccelerationReport`.
+
+    An injected ``telemetry`` sink (:mod:`repro.obs`) observes the
+    functional run and the trace replay; it never changes the report.
+    """
     config = config or paper_system("C2", 64, True)
-    plain = run_program(program, collect_trace=True)
+    plain = run_program(program, collect_trace=True, telemetry=telemetry)
     base = baseline_metrics(plain.trace, config.timing)
-    metrics = evaluate_trace(plain.trace, config)
+    metrics = evaluate_trace(plain.trace, config, telemetry=telemetry)
     profile = block_profile(plain.trace)
     coverage = blocks_for_coverage(profile, fractions=(0.8,))
     breakdown = energy_of(metrics, energy_params)

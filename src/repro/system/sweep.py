@@ -47,6 +47,8 @@ from typing import (
 )
 
 from repro.dim.memo import TranslationMemo
+from repro.obs import Telemetry
+from repro.obs.schema import sweep_counters, sweep_timers
 from repro.sim.stats import TimingModel
 from repro.sim.trace import Trace
 from repro.system.artifacts import ArtifactCache
@@ -134,6 +136,16 @@ class SweepInstrumentation:
         payload["alloc_hit_rate"] = self.alloc_hit_rate
         payload["artifact_hit_rate"] = self.artifact_hit_rate
         return payload
+
+    # The legacy field names above are the back-compat aliases; the
+    # canonical representation is the repro.obs counter schema.
+    def counters(self) -> Dict[str, int]:
+        """This record under the unified ``sweep.*`` counter schema."""
+        return sweep_counters(self)
+
+    def timer_values(self) -> Dict[str, float]:
+        """Phase timings under the unified ``sweep.*`` timer schema."""
+        return sweep_timers(self)
 
     def merge_counters(self, other: "SweepInstrumentation") -> None:
         """Fold a worker's counters into this (parent) record."""
@@ -253,16 +265,21 @@ def replay_matrix(traces: Mapping[str, Trace],
 
 
 def _sweep_workload(name: str, configs: Sequence[SystemConfig],
-                    fast: bool, cache: Optional[ArtifactCache]
+                    fast: bool, cache: Optional[ArtifactCache],
+                    telemetry=None
                     ) -> Tuple[Dict[TimingModel, SystemMetrics],
                                List[SystemMetrics], SweepInstrumentation]:
     """All cells of one workload row, with maximal sharing.
 
     Returns the per-timing baselines, one accelerated metrics per
-    configuration, and the row's instrumentation counters.
+    configuration, and the row's instrumentation counters.  An injected
+    ``telemetry`` sink receives one ``sweep.cell_replayed`` event per
+    live cell plus the full engine-level event stream of each replay;
+    it never changes the metrics.
     """
     inst = SweepInstrumentation()
     trace: Optional[Trace] = None
+    observing = telemetry is not None and telemetry.enabled
 
     def ensure_trace() -> Trace:
         nonlocal trace
@@ -282,9 +299,13 @@ def _sweep_workload(name: str, configs: Sequence[SystemConfig],
             replay_start = time.perf_counter()
             if memo is None:
                 memo = TranslationMemo()
-            metrics = evaluate_trace(body, config, name=name, memo=memo)
+            metrics = evaluate_trace(body, config, name=name, memo=memo,
+                                     telemetry=telemetry)
             inst.replay_seconds += time.perf_counter() - replay_start
             inst.cells_replayed += 1
+            if observing:
+                telemetry.emit("sweep.cell_replayed", workload=name,
+                               system=config.name, cycles=metrics.cycles)
             if cache is not None:
                 cache.store(metrics_artifact_key(cache, name, config),
                             metrics)
@@ -325,15 +346,21 @@ def _sweep_workload(name: str, configs: Sequence[SystemConfig],
     return baselines, cell_metrics, inst
 
 
-def _matrix_worker(args) -> Tuple[str, Dict[TimingModel, SystemMetrics],
-                                  List[SystemMetrics],
-                                  SweepInstrumentation]:
-    """Process-pool entry point: one workload row of the matrix."""
-    name, configs, fast, cache_root = args
+def _matrix_worker(args):
+    """Process-pool entry point: one workload row of the matrix.
+
+    When telemetry is requested the worker collects into a private
+    :class:`~repro.obs.Telemetry` and returns its plain-data payload;
+    the parent re-emits in task order, so the merged stream is
+    deterministic regardless of worker scheduling.
+    """
+    name, configs, fast, cache_root, events_max = args
     cache = ArtifactCache(cache_root) if cache_root is not None else None
+    telemetry = Telemetry(events_max) if events_max is not None else None
     baselines, cell_metrics, inst = _sweep_workload(name, configs, fast,
-                                                    cache)
-    return name, baselines, cell_metrics, inst
+                                                    cache, telemetry)
+    payload = telemetry.export_payload() if telemetry is not None else None
+    return name, baselines, cell_metrics, inst, payload
 
 
 # ----------------------------------------------------------------------
@@ -347,6 +374,8 @@ class MatrixResult:
     suites: List[SuiteResult]
     instrumentation: SweepInstrumentation = field(
         default_factory=SweepInstrumentation)
+    #: the telemetry sink passed to evaluate_matrix, if any.
+    telemetry: Optional[Telemetry] = None
 
     def suite(self, system: str) -> SuiteResult:
         for candidate in self.suites:
@@ -374,6 +403,21 @@ class MatrixResult:
     def instrumentation_json(self) -> str:
         return json.dumps(self.instrumentation.as_dict(), indent=2)
 
+    def telemetry_json(self) -> str:
+        """The run's telemetry under the unified ``repro.obs`` schema.
+
+        Works whether or not a sink was injected: without one, the
+        sweep instrumentation counters are projected onto the schema on
+        the fly (with an empty event stream).
+        """
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            telemetry = Telemetry(max_events=None)
+            telemetry.count_many(self.instrumentation.counters())
+            for name, secs in self.instrumentation.timer_values().items():
+                telemetry.add_time(name, secs)
+        return telemetry.to_json()
+
 
 def evaluate_matrix(configs: Sequence[SystemConfig],
                     names: Optional[Iterable[str]] = None,
@@ -381,14 +425,18 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
                     jobs: int = 1,
                     fast: bool = False,
                     cache: Optional[ArtifactCache] = None,
-                    cache_dir: Optional[Path] = None) -> MatrixResult:
+                    cache_dir: Optional[Path] = None,
+                    telemetry: Optional[Telemetry] = None) -> MatrixResult:
     """Evaluate the full workloads x configurations matrix.
 
     Per-configuration rows of the result are byte-identical (as JSON) to
     ``evaluate_suite(config, names)`` — the sharing layers never change
     numbers, only wall-clock.  ``jobs > 1`` fans workload rows across a
     process pool.  Pass ``cache`` (or ``cache_dir``) to persist and
-    reuse trace/baseline/metrics artifacts across processes.
+    reuse trace/baseline/metrics artifacts across processes.  Pass
+    ``telemetry`` to collect the unified event stream and counters
+    (:mod:`repro.obs`); results are identical with or without it, for
+    any ``jobs``.
     """
     # deferred to dodge the repro.workloads.suite <-> repro.system cycle
     from repro.workloads.suite import SuiteResult, result_from_metrics
@@ -401,24 +449,31 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
     inst = SweepInstrumentation(workloads=len(names), systems=len(configs),
                                 cells=len(names) * len(configs),
                                 jobs=max(1, jobs))
+    observing = telemetry is not None and telemetry.enabled
 
     rows: Dict[str, Tuple[Dict[TimingModel, SystemMetrics],
                           List[SystemMetrics]]] = {}
     if jobs > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        events_max = None
+        if observing:
+            events_max = (telemetry.events.max_events
+                          if telemetry.events is not None else 0)
         tasks = [(name, configs, fast,
-                  cache.root if cache is not None else None)
+                  cache.root if cache is not None else None, events_max)
                  for name in names]
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            for name, baselines, cells, row_inst in pool.map(
+            for name, baselines, cells, row_inst, payload in pool.map(
                     _matrix_worker, tasks):
                 rows[name] = (baselines, cells)
                 inst.merge_counters(row_inst)
+                if observing and payload is not None:
+                    telemetry.absorb(*payload)
     else:
         for name in names:
-            baselines, cells, row_inst = _sweep_workload(name, configs,
-                                                         fast, cache)
+            baselines, cells, row_inst = _sweep_workload(
+                name, configs, fast, cache, telemetry)
             rows[name] = (baselines, cells)
             inst.merge_counters(row_inst)
 
@@ -432,4 +487,9 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
                 energy_params))
         suites.append(SuiteResult(config.name, results))
     inst.total_seconds = time.perf_counter() - start
-    return MatrixResult(names=names, suites=suites, instrumentation=inst)
+    if observing:
+        telemetry.count_many(inst.counters())
+        for timer_name, seconds in inst.timer_values().items():
+            telemetry.add_time(timer_name, seconds)
+    return MatrixResult(names=names, suites=suites, instrumentation=inst,
+                        telemetry=telemetry)

@@ -19,6 +19,7 @@ from typing import Optional, Set, Tuple
 from repro.dim.engine import DimEngine, DimStats
 from repro.dim.memo import TranslationMemo
 from repro.isa.opcodes import InstrClass
+from repro.obs.schema import engine_counters
 from repro.sim.stats import TimingModel
 from repro.sim.trace import BasicBlock, Trace
 from repro.system.config import SystemConfig
@@ -109,8 +110,8 @@ def _prefix_mem_ops(block: BasicBlock, covered: int) -> Tuple[int, int]:
 
 def evaluate_trace(trace: Trace, config: SystemConfig,
                    name: str = "",
-                   memo: Optional["TranslationMemo"] = None
-                   ) -> SystemMetrics:
+                   memo: Optional["TranslationMemo"] = None,
+                   telemetry=None) -> SystemMetrics:
     """Replay a trace through a DIM system; returns its metrics.
 
     The replay mirrors :class:`repro.system.coupled.CoupledSimulator`
@@ -118,7 +119,9 @@ def evaluate_trace(trace: Trace, config: SystemConfig,
     extension triggers, same speculation resolution and flush policy.
     ``memo`` optionally shares translation work with other evaluations
     of the same trace (see :mod:`repro.dim.memo`); it never changes the
-    returned metrics.
+    returned metrics.  ``telemetry`` optionally injects a
+    :class:`repro.obs.Telemetry` sink; telemetry is purely
+    observational, so metrics are identical with or without it.
     """
     model = shared_cost_model(config.timing)
     table = trace.table
@@ -130,7 +133,7 @@ def evaluate_trace(trace: Trace, config: SystemConfig,
         return table.get_by_pc(pc)
 
     engine = DimEngine(config.shape, config.dim, provider,
-                       translation_memo=memo)
+                       translation_memo=memo, telemetry=telemetry)
     metrics = SystemMetrics(name=name or config.name)
     events = trace.events
     n = len(events)
@@ -206,6 +209,8 @@ def evaluate_trace(trace: Trace, config: SystemConfig,
     metrics.cache_evictions = cache.evictions
     metrics.cache_invalidations = cache.invalidations
     metrics.predictor_accuracy = engine.predictor.accuracy
+    if telemetry is not None and telemetry.enabled:
+        telemetry.count_many(engine_counters(engine))
     return metrics
 
 

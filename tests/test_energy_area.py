@@ -149,5 +149,6 @@ def test_paper_system_shapes():
 
 
 def test_paper_system_rejects_unknown_array():
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError,
+                       match="valid array names are C1, C2, C3, ideal"):
         paper_system("C9")
