@@ -14,6 +14,9 @@ Stable API (the :mod:`repro.api` facade)
 - :func:`repro.evaluate` — the Table 2 suite against one system.
 - :func:`repro.sweep` — a workloads x configurations matrix through the
   trace-once / replay-many sweep engine.
+- :func:`repro.connect` — a client for a running ``repro serve``
+  evaluation service (:mod:`repro.serve`), which executes the same
+  verbs as queued jobs with batch coalescing and warm caches.
 - :class:`repro.Telemetry` / :data:`repro.NULL_TELEMETRY` — the unified
   observability sink accepted by all of the above (:mod:`repro.obs`).
 
@@ -26,6 +29,7 @@ from repro.api import (
     RunComparison,
     Target,
     build_config,
+    connect,
     evaluate,
     load_target,
     run,
@@ -45,6 +49,7 @@ __all__ = [
     "RunComparison",
     "Target",
     "build_config",
+    "connect",
     "evaluate",
     "load_target",
     "run",

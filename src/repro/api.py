@@ -10,6 +10,10 @@ the advertised entry points:
 - :func:`evaluate` — the Table 2 suite (or a subset) on one system.
 - :func:`sweep` — the full workloads x configurations matrix through
   the trace-once / replay-many engine.
+- :func:`connect` — a client for a running ``repro serve`` service,
+  which executes the same three verbs as queued jobs with batch
+  coalescing and warm caches (:mod:`repro.serve`); results are
+  byte-identical to the offline calls above.
 
 All four accept an optional :class:`repro.obs.Telemetry` sink where
 observation makes sense; telemetry never changes any returned number.
@@ -153,10 +157,23 @@ def sweep(configs: Optional[Sequence[SystemConfig]] = None,
                            energy_params=energy_params)
 
 
+def connect(url: str = "http://127.0.0.1:8350", timeout: float = 60.0):
+    """A :class:`repro.serve.ServeClient` for a running service.
+
+    Verifies the protocol version against the server's ``healthz``
+    before returning.  Deferred import so the offline API keeps zero
+    service dependencies.
+    """
+    from repro.serve.client import connect as serve_connect
+
+    return serve_connect(url, timeout=timeout)
+
+
 __all__ = [
     "Target",
     "RunComparison",
     "build_config",
+    "connect",
     "load_target",
     "run",
     "evaluate",

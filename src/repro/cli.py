@@ -26,6 +26,15 @@ Usage (installed as ``python -m repro.cli``):
   to the paper's Table 2 matrix.  Result JSON is byte-identical to
   per-configuration ``suite`` runs, serial or parallel, cold or warm
   cache — and identical with or without ``--telemetry``.
+- ``serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
+  [--no-cache] [--capacity N]`` — run the persistent evaluation
+  service (:mod:`repro.serve`): an HTTP job queue whose scheduler
+  coalesces compatible jobs into one matrix replay on warm workers.
+- ``submit {run,evaluate,sweep} [target] [--url U] [--priority N]
+  [--timeout S] [--no-wait] [--json out.json]`` plus the shared system
+  options — submit one job to a running service and (by default) wait
+  for and print its result.
+- ``jobs [--url U]`` — list every job the service knows, with states.
 - ``disasm <file.s|file.c|workload>`` — disassemble a target's text
   segment.
 
@@ -320,6 +329,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import serve_forever
+    from repro.system.artifacts import default_cache_dir
+
+    cache_root = None
+    if not args.no_cache:
+        cache_root = (args.cache_dir if args.cache_dir
+                      else default_cache_dir())
+    return serve_forever(host=args.host, port=args.port,
+                         workers=args.workers, cache_root=cache_root,
+                         capacity=args.capacity,
+                         batch_window=args.batch_window)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    configs = [{"array": _array_of(config),
+                "slots": config.dim.cache_slots,
+                "speculation": config.dim.speculation}
+               for config in _build_configs(args)]
+    names = _parse_workload_subset(args.only)
+    kwargs = dict(fast=args.fast, priority=args.priority,
+                  timeout=args.timeout)
+    try:
+        if args.kind == "run":
+            if not args.target:
+                raise SystemExit("submit run needs a target")
+            if len(configs) != 1:
+                raise SystemExit("submit run takes exactly one system")
+            job = client.submit("run", target=args.target,
+                                configs=configs, **kwargs)
+        elif args.kind == "evaluate":
+            if len(configs) != 1:
+                raise SystemExit("submit evaluate takes exactly one "
+                                 "system; use 'submit sweep' for a "
+                                 "matrix")
+            job = client.submit("evaluate", configs=configs,
+                                names=names, **kwargs)
+        else:
+            job = client.submit("sweep", configs=configs, names=names,
+                                **kwargs)
+        print(f"submitted {job['job_id']} "
+              f"(state={job['state']}, "
+              f"fingerprint={job['fingerprint']})")
+        if args.no_wait:
+            return 0
+        payload = client.wait(job["job_id"])
+    except ServeError as exc:
+        raise SystemExit(f"service error [{exc.code}]: {exc}")
+    result = payload["result"]
+    if result["kind"] == "run":
+        print(f"{result['target']} on {result['system']}: "
+              f"{result['speedup']:.2f}x speedup, "
+              f"{result['energy_ratio']:.2f}x less energy")
+    elif result["kind"] == "evaluate":
+        print(f"{result['system']}: geomean speedup "
+              f"{result['geomean_speedup']:.3f}x")
+    else:
+        print(f"sweep over {len(result['systems'])} systems done")
+    body = result.get("suite_json") or result.get("matrix_json")
+    if args.json and body:
+        with open(args.json, "w") as handle:
+            handle.write(body)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _array_of(config: SystemConfig) -> str:
+    """Recover the Table 1 array name from a built configuration."""
+    return config.name.split("/", 1)[0]
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        jobs = client.jobs()
+        health = client.healthz()
+    except ServeError as exc:
+        raise SystemExit(f"service error [{exc.code}]: {exc}")
+    print(f"{'job':10s} {'kind':9s} {'state':10s} {'prio':>4s} "
+          f"{'att':>3s} {'batch':>5s} error")
+    for job in jobs:
+        error = (job.get("error") or {}).get("code", "")
+        print(f"{job['job_id']:10s} {job['kind']:9s} "
+              f"{job['state']:10s} {job['priority']:>4d} "
+              f"{job['attempts']:>3d} {job['batch_width']:>5d} "
+              f"{error}")
+    print(f"\nqueue depth {health['queue_depth']}, "
+          f"{health['active_jobs']} active, "
+          f"workers={health['workers']}, paused={health['paused']}")
+    return 0
+
+
 def _cmd_disasm(args: argparse.Namespace) -> int:
     from repro.asm.disassembler import disassemble_program
 
@@ -395,6 +501,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="disable the persistent artifact cache")
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the persistent evaluation service")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8350)
+    serve_p.add_argument("--workers", type=int, default=0,
+                         help="warm process-pool workers (0 = run "
+                              "batches in-process)")
+    serve_p.add_argument("--capacity", type=int, default=256,
+                         help="bounded queue size (submissions beyond "
+                              "it are rejected)")
+    serve_p.add_argument("--batch-window", type=float, default=0.02,
+                         help="seconds to wait for coalescable jobs "
+                              "after the first claim")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="artifact-cache directory pinned into "
+                              "every worker (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent artifact cache")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a job to a running service",
+        parents=[_shared_options("C2", "64", "off", fast=True,
+                                 only=True)])
+    submit_p.add_argument("kind", choices=("run", "evaluate", "sweep"))
+    submit_p.add_argument("target", nargs="?", default=None,
+                          help="run jobs: workload name or source path")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8350")
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (FIFO within a "
+                               "priority)")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          help="per-job deadline in seconds")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return instead of "
+                               "polling for the result")
+    submit_p.add_argument("--json", default=None,
+                          help="write the result body (suite/matrix "
+                               "JSON) to a file")
+    submit_p.set_defaults(func=_cmd_submit)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list the jobs of a running service")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8350")
+    jobs_p.set_defaults(func=_cmd_jobs)
 
     disasm_p = sub.add_parser("disasm", help="disassemble a target")
     disasm_p.add_argument("target")

@@ -43,6 +43,8 @@ from repro.obs.schema import (
     engine_counters,
     predictor_counters,
     rcache_counters,
+    serve_counters,
+    serve_timers,
     sweep_counters,
     sweep_timers,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "engine_counters",
     "predictor_counters",
     "rcache_counters",
+    "serve_counters",
+    "serve_timers",
     "sweep_counters",
     "sweep_timers",
 ]

@@ -47,6 +47,11 @@ EVENT_TYPES = frozenset({
     "speculation.extension",    # a cached config was deepened
     # sweep engine
     "sweep.cell_replayed",      # one (workload, system) cell evaluated live
+    # evaluation service (repro.serve)
+    "serve.job_submitted",      # a job entered the bounded queue
+    "serve.batch_dispatched",   # a coalesced batch left for a worker
+    "serve.job_retried",        # a worker failure triggered a retry
+    "serve.job_finished",       # a job reached a terminal state
 })
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))

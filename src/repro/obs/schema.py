@@ -17,6 +17,7 @@ Namespaces:
 - ``sim.*``        functional simulator totals
 - ``fastpath.*``   block-compiled engine activity
 - ``sweep.*``      matrix sweep engine phases and cache outcomes
+- ``serve.*``      evaluation-service queue, batching and latency
 """
 
 from __future__ import annotations
@@ -81,6 +82,33 @@ SWEEP_TIMERS = {
     "sweep.replay_seconds": "replay_seconds",
 }
 
+#: carrier: :class:`repro.serve.queue.ServeStats`.  The latency names
+#: are fixed histogram buckets (job submit -> terminal state) so the
+#: whole distribution lives inside the closed counter schema.
+SERVE_COUNTERS = {
+    "serve.jobs_submitted": "jobs_submitted",
+    "serve.jobs_rejected": "jobs_rejected",
+    "serve.jobs_completed": "jobs_completed",
+    "serve.jobs_failed": "jobs_failed",
+    "serve.jobs_cancelled": "jobs_cancelled",
+    "serve.jobs_timed_out": "jobs_timed_out",
+    "serve.batches": "batches",
+    "serve.batched_jobs": "batched_jobs",
+    "serve.max_batch_width": "max_batch_width",
+    "serve.retries": "retries",
+    "serve.max_queue_depth": "max_queue_depth",
+    "serve.latency_le_10ms": "latency_le_10ms",
+    "serve.latency_le_100ms": "latency_le_100ms",
+    "serve.latency_le_1s": "latency_le_1s",
+    "serve.latency_le_10s": "latency_le_10s",
+    "serve.latency_over_10s": "latency_over_10s",
+}
+
+SERVE_TIMERS = {
+    "serve.queue_seconds": "queue_seconds",
+    "serve.exec_seconds": "exec_seconds",
+}
+
 
 def _collect(obj, mapping: Dict[str, str]) -> Dict[str, int]:
     return {name: getattr(obj, attr) for name, attr in mapping.items()}
@@ -117,3 +145,13 @@ def sweep_counters(inst) -> Dict[str, int]:
 def sweep_timers(inst) -> Dict[str, float]:
     """Canonical timer values of a ``SweepInstrumentation``."""
     return _collect(inst, SWEEP_TIMERS)
+
+
+def serve_counters(stats) -> Dict[str, int]:
+    """Canonical counters of a :class:`repro.serve.queue.ServeStats`."""
+    return _collect(stats, SERVE_COUNTERS)
+
+
+def serve_timers(stats) -> Dict[str, float]:
+    """Canonical timer values of a ``ServeStats``."""
+    return _collect(stats, SERVE_TIMERS)

@@ -1,0 +1,162 @@
+"""A blocking Python client for the evaluation service.
+
+Stdlib only (:mod:`urllib.request`); every protocol failure surfaces as
+a :class:`ServeError` carrying the structured error code, so callers
+dispatch on ``exc.code`` instead of parsing prose.
+
+>>> client = ServeClient("http://127.0.0.1:8350")
+>>> job = client.submit("evaluate",
+...                     configs=[{"array": "C2", "slots": 64,
+...                               "speculation": True}],
+...                     names=["crc"], fast=True)
+>>> result = client.wait(job["job_id"])
+>>> print(result["result"]["suite_json"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import PROTOCOL_VERSION, JobState
+
+
+class ServeError(Exception):
+    """A structured error returned by the service."""
+
+    def __init__(self, code: str, message: str,
+                 http_status: int = 400,
+                 field: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+        self.http_status = http_status
+        self.field = field
+
+
+class ServeClient:
+    """Thin blocking wrapper over the versioned JSON protocol."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8350",
+                 timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None) -> object:
+        url = f"{self.base_url}/v1/{path}"
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as reply:
+                raw = reply.read()
+                if reply.headers.get_content_type() != "application/json":
+                    return raw.decode()
+                return json.loads(raw.decode())
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode()
+            try:
+                payload = json.loads(raw)
+                error = payload.get("error", {})
+            except json.JSONDecodeError:
+                error = {}
+            raise ServeError(error.get("code", "bad_param"),
+                             error.get("message", raw or str(exc)),
+                             http_status=exc.code,
+                             field=error.get("field")) from None
+
+    # ------------------------------------------------------------------
+    # Jobs.
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, configs: Optional[List[Dict]] = None,
+               names: Optional[List[str]] = None,
+               target: Optional[str] = None, fast: bool = False,
+               priority: int = 0,
+               timeout: Optional[float] = None) -> Dict[str, object]:
+        """Submit one job; returns its status (``job_id``, ``state``)."""
+        body: Dict[str, object] = {"kind": kind, "fast": fast,
+                                   "priority": priority}
+        if configs is not None:
+            body["configs"] = configs
+        if names is not None:
+            body["names"] = names
+        if target is not None:
+            body["target"] = target
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "submit", body)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"status/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "jobs")["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The result payload; raises :class:`ServeError` until done."""
+        return self._request("GET", f"result/{job_id}")
+
+    def wait(self, job_id: str, poll: float = 0.05,
+             timeout: Optional[float] = None) -> Dict[str, object]:
+        """Poll until the job is terminal; return its result payload.
+
+        Raises :class:`ServeError` with the job's structured code if it
+        failed, was cancelled, or timed out; raises ``TimeoutError``
+        if the *client-side* wait budget runs out first.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return self.result(job_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"cancel/{job_id}")
+
+    # ------------------------------------------------------------------
+    # Service control and observability.
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("GET", "metrics")
+
+    def events_jsonl(self) -> str:
+        return self._request("GET", "events")
+
+    def pause(self) -> Dict[str, object]:
+        return self._request("POST", "pause")
+
+    def resume(self) -> Dict[str, object]:
+        return self._request("POST", "resume")
+
+    def shutdown(self, drain: bool = True) -> Dict[str, object]:
+        return self._request("POST", "shutdown", {"drain": drain})
+
+
+def connect(url: str = "http://127.0.0.1:8350",
+            timeout: float = 60.0) -> ServeClient:
+    """Convenience constructor mirroring :mod:`repro.api` style."""
+    client = ServeClient(url, timeout=timeout)
+    health = client.healthz()
+    if health.get("protocol") != PROTOCOL_VERSION:
+        raise ServeError(
+            "bad_param",
+            f"server speaks protocol {health.get('protocol')}, client "
+            f"speaks {PROTOCOL_VERSION}")
+    return client

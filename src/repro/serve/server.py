@@ -1,0 +1,399 @@
+"""The long-lived evaluation service and its stdlib HTTP front end.
+
+:class:`EvalService` owns the event loop (run on a dedicated daemon
+thread), the :class:`~repro.serve.queue.JobManager`, the
+:class:`~repro.serve.scheduler.BatchScheduler` and the service
+telemetry; its public methods are thread-safe bridges that the HTTP
+handlers (and tests) call from any thread.
+
+:class:`ServeHTTPServer` is a plain
+:class:`http.server.ThreadingHTTPServer` — no third-party dependency —
+that maps the versioned JSON protocol (:mod:`repro.serve.protocol`)
+onto the service.  :func:`serve_forever` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import SCHEMA_VERSION, Telemetry
+from repro.obs.schema import serve_counters, serve_timers
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    JobState,
+    ProtocolError,
+    dumps,
+    loads,
+    validate_submission,
+)
+from repro.serve.queue import JobManager, ServeStats
+from repro.serve.scheduler import BatchScheduler, run_batch
+
+#: ceiling on any one thread-safe bridge call into the loop.
+_BRIDGE_TIMEOUT = 60.0
+
+
+class EvalService:
+    """Queue + scheduler + telemetry behind a thread-safe facade."""
+
+    def __init__(self, workers: int = 0,
+                 cache_root: Optional[Path] = None,
+                 capacity: int = 256, max_retries: int = 2,
+                 backoff_base: float = 0.05,
+                 batch_window: float = 0.02,
+                 telemetry: Optional[Telemetry] = None,
+                 runner=run_batch):
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry())
+        self.stats = ServeStats()
+        self.manager = JobManager(capacity=capacity,
+                                  max_retries=max_retries,
+                                  backoff_base=backoff_base,
+                                  stats=self.stats)
+        self.scheduler = BatchScheduler(
+            self.manager, self.telemetry, workers=workers,
+            cache_root=cache_root, batch_window=batch_window,
+            runner=runner)
+        self.cache_root = cache_root
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "EvalService":
+        assert self._thread is None, "service already started"
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="repro-serve-loop",
+                                        daemon=True)
+        self._thread.start()
+        self._started.wait(_BRIDGE_TIMEOUT)
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            self.manager.bind()
+            self.scheduler.start()
+            self._started.set()
+
+        loop.create_task(boot())
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def stop(self, drain: bool = True,
+             timeout: float = _BRIDGE_TIMEOUT) -> Dict[str, object]:
+        """Stop the service; with ``drain`` (the default) refuse new
+        submissions and wait for every queued job to reach a terminal
+        state first, so a clean shutdown never strands work."""
+        if self._stopped:
+            return {"drained": True, "active": 0}
+        summary = self._call(self._shutdown(drain), timeout=timeout)
+        loop, self._loop = self._loop, None
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout)
+        self._stopped = True
+        return summary
+
+    async def _shutdown(self, drain: bool) -> Dict[str, object]:
+        self.manager.stop_accepting()
+        if drain:
+            await self.manager.resume()  # a paused queue cannot drain
+            await self.manager.wait_drained()
+            await self.scheduler.wait_idle()
+        await self.scheduler.stop()
+        return {"drained": drain, "active": self.manager.active,
+                "jobs": len(self.manager.jobs)}
+
+    # ------------------------------------------------------------------
+    # The thread-safe bridge.
+    # ------------------------------------------------------------------
+    def _call(self, coro, timeout: float = _BRIDGE_TIMEOUT):
+        assert self._loop is not None, "service not started"
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    def submit(self, payload: object) -> Dict[str, object]:
+        """Validate and enqueue one job spec; returns its status."""
+        request = validate_submission(payload)
+        return self._call(self._submit(request))
+
+    async def _submit(self, request) -> Dict[str, object]:
+        job = await self.manager.submit(request)
+        if self.telemetry.enabled:
+            self.telemetry.emit("serve.job_submitted", job_id=job.id,
+                                kind=request.kind,
+                                fingerprint=request.fingerprint,
+                                queue_depth=self.manager.depth)
+        return job.status()
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._call(self._status(job_id))
+
+    async def _status(self, job_id: str) -> Dict[str, object]:
+        return self.manager.job(job_id).status()
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._call(self._jobs())
+
+    async def _jobs(self) -> List[Dict[str, object]]:
+        return [job.status() for _, job in
+                sorted(self.manager.jobs.items())]
+
+    def result(self, job_id: str, wait: bool = False,
+               timeout: float = _BRIDGE_TIMEOUT) -> Dict[str, object]:
+        """A finished job's result payload.
+
+        Raises :class:`ProtocolError` (``not_finished`` /
+        ``job_failed`` / ``job_cancelled`` / ``job_timeout``) when no
+        result exists; ``wait`` blocks until the job is terminal.
+        """
+        return self._call(self._result(job_id, wait), timeout=timeout)
+
+    async def _result(self, job_id: str,
+                      wait: bool) -> Dict[str, object]:
+        job = self.manager.job(job_id)
+        if wait:
+            await self.manager.wait_job(job)
+        if job.state == JobState.DONE:
+            return {"job_id": job.id, "state": job.state,
+                    "result": job.result}
+        code = {JobState.FAILED: "job_failed",
+                JobState.CANCELLED: "job_cancelled",
+                JobState.TIMEOUT: "job_timeout"}.get(job.state,
+                                                     "not_finished")
+        status = 409 if code == "not_finished" else 410
+        message = (job.error or {}).get("message", job.state)
+        raise ProtocolError(code, f"job {job.id} is {job.state}: "
+                                  f"{message}", http_status=status)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._call(self._cancel(job_id))
+
+    async def _cancel(self, job_id: str) -> Dict[str, object]:
+        job = await self.manager.cancel(job_id)
+        return job.status()
+
+    def pause(self) -> None:
+        self._call(self.manager.pause())
+
+    def resume(self) -> None:
+        self._call(self.manager.resume())
+
+    def wait_drained(self, timeout: float = _BRIDGE_TIMEOUT) -> None:
+        self._call(self.manager.wait_drained(), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "queue_depth": self.manager.depth,
+            "active_jobs": self.manager.active,
+            "paused": self.manager.paused,
+            "workers": self.scheduler.workers,
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """Counters and timers: the service's ``serve.*`` stats merged
+        over the telemetry absorbed from workers (``sweep.*`` etc.).
+
+        Routed through the event loop while the service runs so the
+        export never races ongoing instrumentation.
+        """
+        if self._loop is not None and not self._stopped:
+            return self._call(self._on_loop(self._build_metrics))
+        return self._build_metrics()
+
+    async def _on_loop(self, fn):
+        return fn()
+
+    def _build_metrics(self) -> Dict[str, object]:
+        counters = dict(self.telemetry.counters)
+        counters.update(serve_counters(self.stats))
+        timers = dict(self.telemetry.timers)
+        timers.update(serve_timers(self.stats))
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "protocol": PROTOCOL_VERSION,
+            "counters": dict(sorted(counters.items())),
+            "timers": dict(sorted(timers.items())),
+            "events": self.telemetry.meta_record(),
+            "mean_batch_width": self.stats.mean_batch_width,
+        }
+
+    def events_jsonl(self) -> str:
+        """The telemetry event stream as schema-valid JSONL text."""
+        if self._loop is not None and not self._stopped:
+            return self._call(self._on_loop(self._build_events_jsonl))
+        return self._build_events_jsonl()
+
+    def _build_events_jsonl(self) -> str:
+        lines = [json.dumps(self.telemetry.meta_record(),
+                            sort_keys=True)]
+        if self.telemetry.events is not None:
+            lines.extend(json.dumps(record, sort_keys=True)
+                         for record in self.telemetry.events)
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# HTTP front end.
+# ----------------------------------------------------------------------
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer wired to one :class:`EvalService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: EvalService):
+        super().__init__(address, _Handler)
+        self.service = service
+        #: set by the shutdown route; serve_forever exits on it.
+        self.shutdown_requested = threading.Event()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServeHTTPServer
+
+    # quiet: the service has telemetry, stderr chatter is noise.
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    def _reply(self, payload: Dict[str, object],
+               status: int = 200) -> None:
+        body = dumps(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, text: str, status: int = 200) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(self, exc: ProtocolError) -> None:
+        self._reply(exc.as_dict(), status=exc.http_status)
+
+    def _body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        return loads(self.rfile.read(length) if length else b"")
+
+    def _route(self) -> Tuple[str, Optional[str]]:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts and parts[0] == "v1":
+            parts = parts[1:]
+        if not parts:
+            raise ProtocolError("not_found", "no route", http_status=404)
+        head = parts[0]
+        arg = parts[1] if len(parts) > 1 else None
+        return head, arg
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.server.service
+        try:
+            head, arg = self._route()
+            if head == "healthz":
+                self._reply(service.healthz())
+            elif head == "metrics":
+                self._reply(service.metrics())
+            elif head == "events":
+                self._reply_text(service.events_jsonl())
+            elif head == "jobs" and arg is None:
+                self._reply({"jobs": service.jobs(),
+                             "protocol": PROTOCOL_VERSION})
+            elif head == "status" and arg:
+                self._reply(service.status(arg))
+            elif head == "result" and arg:
+                wait = "wait=1" in (self.path.split("?") + [""])[1]
+                self._reply(service.result(arg, wait=wait))
+            else:
+                raise ProtocolError("not_found",
+                                    f"no route {self.path!r}",
+                                    http_status=404)
+        except ProtocolError as exc:
+            self._reply_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        try:
+            head, arg = self._route()
+            if head == "submit":
+                self._reply(service.submit(self._body()), status=202)
+            elif head == "cancel" and arg:
+                self._reply(service.cancel(arg))
+            elif head == "pause":
+                service.pause()
+                self._reply(service.healthz())
+            elif head == "resume":
+                service.resume()
+                self._reply(service.healthz())
+            elif head == "shutdown":
+                body = self._body()
+                drain = (isinstance(body, dict)
+                         and bool(body.get("drain", True))) or body == {}
+                summary = service.stop(drain=bool(drain))
+                summary["protocol"] = PROTOCOL_VERSION
+                self._reply(summary)
+                self.server.shutdown_requested.set()
+            else:
+                raise ProtocolError("not_found",
+                                    f"no route {self.path!r}",
+                                    http_status=404)
+        except ProtocolError as exc:
+            self._reply_error(exc)
+
+
+def start_http(service: EvalService, host: str = "127.0.0.1",
+               port: int = 0) -> Tuple[ServeHTTPServer, threading.Thread]:
+    """Start the HTTP front end on a background thread.
+
+    Returns the server (``server.server_address`` carries the bound
+    port when ``port=0``) and its thread; used by tests, benches and
+    the CLI's foreground loop.
+    """
+    server = ServeHTTPServer((host, port), service)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-http", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 8350,
+                  **service_kwargs) -> int:
+    """Run the service until interrupted or shut down over HTTP."""
+    service = EvalService(**service_kwargs).start()
+    server, thread = start_http(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"(workers={service.scheduler.workers}, "
+          f"cache={service.cache_root or 'disabled'})")
+    try:
+        server.shutdown_requested.wait()
+    except KeyboardInterrupt:
+        print("\nrepro serve: draining ...")
+        service.stop(drain=True)
+    server.shutdown()
+    thread.join(5.0)
+    return 0

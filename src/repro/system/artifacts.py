@@ -32,6 +32,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from array import array
 from pathlib import Path
 from typing import Optional
@@ -91,6 +92,9 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # one cache object may be shared by threaded warm workers
+        # (repro.serve); the lock keeps the counters exact under that.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Keys.
@@ -113,13 +117,21 @@ class ArtifactCache:
     # Generic object storage.
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[object]:
-        """The stored object, or None on a miss (miss is counted)."""
+        """The stored object, or None on a miss (miss is counted).
+
+        Readers racing a concurrent :meth:`store` of the same key are
+        safe: publication is a single atomic ``os.replace``, so a
+        reader sees either a complete previous record or a complete
+        new one — never a torn entry (``tests/test_artifacts.py``
+        hammers this from many threads).
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
                 record = pickle.load(handle)
             if record.get("key") == key:
-                self.hits += 1
+                with self._lock:
+                    self.hits += 1
                 return record["payload"]
         except FileNotFoundError:
             pass
@@ -130,28 +142,41 @@ class ArtifactCache:
                 path.unlink()
             except OSError:
                 pass
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def store(self, key: str, payload: object) -> None:
-        """Atomically persist one artifact (safe under concurrency)."""
+        """Atomically publish one artifact (safe under concurrency).
+
+        The record is fully written to a uniquely-named temp file in
+        the destination directory, then published with ``os.replace``
+        — the only point at which any reader can observe the key.  The
+        temp file is removed on *every* failure (not just ``OSError``:
+        an unpicklable payload must not leak ``.tmp-*`` litter either),
+        so concurrent writers of one key simply race to publish
+        equivalent records and the last replace wins.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {"key": key, "payload": payload}
         fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                         prefix=".tmp-", suffix=".pkl")
+        published = False
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(record, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
+            published = True
+        finally:
+            if not published:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        with self._lock:
+            self.stores += 1
 
     # ------------------------------------------------------------------
     # Trace-specific wrappers (columnar encoding).

@@ -419,6 +419,29 @@ class MatrixResult:
         return telemetry.to_json()
 
 
+def matrix_slice(matrix: MatrixResult,
+                 configs: Sequence[SystemConfig]) -> MatrixResult:
+    """The sub-matrix of ``matrix`` covering exactly ``configs``.
+
+    This is the batch-replay entry point the evaluation service
+    (:mod:`repro.serve`) builds on: one superset matrix is evaluated
+    for a whole coalesced batch, then each job's result is sliced out.
+    Because :func:`evaluate_matrix` cells are independent of which
+    other configurations share the matrix, the slice's
+    :meth:`MatrixResult.results_json` is byte-identical to evaluating
+    only ``configs`` (or to looping :func:`evaluate_suite`) — the
+    differential tests in ``tests/test_serve.py`` enforce this.
+
+    Raises :class:`KeyError` if a requested configuration was not part
+    of ``matrix``.  Instrumentation is shared with the parent matrix
+    (it describes the evaluation that actually ran, not the slice).
+    """
+    suites = [matrix.suite(config.name) for config in configs]
+    return MatrixResult(names=list(matrix.names), suites=suites,
+                        instrumentation=matrix.instrumentation,
+                        telemetry=matrix.telemetry)
+
+
 def evaluate_matrix(configs: Sequence[SystemConfig],
                     names: Optional[Iterable[str]] = None,
                     energy_params: EnergyParams = EnergyParams(),

@@ -1,0 +1,116 @@
+"""Concurrency guarantees of the persistent artifact cache.
+
+The evaluation service runs warm workers that share one cache
+directory; these tests hammer a single key from many threads and
+assert no reader ever observes a torn or foreign record, and that
+failed stores never leak ``.tmp-*`` litter.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.system.artifacts import ArtifactCache
+
+
+def test_store_load_round_trip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit", "round-trip")
+    assert cache.load(key) is None
+    cache.store(key, {"cycles": 123})
+    assert cache.load(key) == {"cycles": 123}
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_one_key_hammered_from_threads(tmp_path):
+    """Parallel writers + readers on ONE key: every read is either a
+    miss (before first publication) or one of the complete published
+    payloads — never an exception, never a torn record."""
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit", "hammer")
+    valid_payloads = {f"payload-{writer}-{iteration}"
+                      for writer in range(4) for iteration in range(25)}
+    failures = []
+    start = threading.Barrier(8)
+
+    def writer(writer_id):
+        start.wait()
+        for iteration in range(25):
+            cache.store(key, f"payload-{writer_id}-{iteration}")
+
+    def reader():
+        start.wait()
+        own = ArtifactCache(tmp_path)  # distinct object, same dir
+        for _ in range(200):
+            value = own.load(key)
+            if value is not None and value not in valid_payloads:
+                failures.append(value)
+
+    threads = [threading.Thread(target=writer, args=(i,))
+               for i in range(4)]
+    threads += [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert failures == []
+    # after the dust settles the key holds one complete valid payload
+    assert cache.load(key) in valid_payloads
+    assert cache.stores == 100
+    # and no temp litter survived the race
+    assert not list(tmp_path.rglob(".tmp-*"))
+
+
+def test_failed_store_leaves_no_tmp_litter(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit", "unpicklable")
+    with pytest.raises(Exception):
+        cache.store(key, lambda: None)  # lambdas cannot pickle
+    assert not list(tmp_path.rglob(".tmp-*"))
+    assert cache.load(key) is None
+
+
+def test_damaged_entry_is_dropped_and_recovers(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit", "damage")
+    cache.store(key, "good")
+    path = cache._path(key)
+    path.write_bytes(b"\x80\x04 torn!")  # truncated pickle
+    assert cache.load(key) is None
+    assert not path.exists()  # dropped so it cannot recur
+    cache.store(key, "fresh")
+    assert cache.load(key) == "fresh"
+
+
+def test_counters_exact_under_threaded_loads(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit", "counted")
+    cache.store(key, "value")
+    start = threading.Barrier(8)
+
+    def loader():
+        start.wait()
+        for _ in range(250):
+            assert cache.load(key) == "value"
+
+    threads = [threading.Thread(target=loader) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert cache.hits == 8 * 250
+    assert cache.misses == 0
+
+
+def test_foreign_key_record_is_a_miss(tmp_path):
+    """A record whose embedded key disagrees (e.g. a hash-prefix
+    collision or hand-copied file) is treated as a miss."""
+    cache = ArtifactCache(tmp_path)
+    key = cache.key("metrics", "unit", "foreign")
+    path = cache._path(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"key": "someone-else",
+                                   "payload": "nope"}))
+    assert cache.load(key) is None

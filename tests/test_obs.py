@@ -286,6 +286,55 @@ def test_matrix_telemetry_json_without_sink_projects_instrumentation():
 
 
 # ----------------------------------------------------------------------
+# The serve.* namespace of the closed schema (:mod:`repro.serve`).
+# ----------------------------------------------------------------------
+def test_serve_namespace_events_are_closed():
+    """serve.* event types are schema members; inventing a new one in
+    the serve code without registering it here must fail loudly."""
+    serve_types = {t for t in EVENT_TYPES if t.startswith("serve.")}
+    assert serve_types == {"serve.job_submitted",
+                           "serve.batch_dispatched",
+                           "serve.job_retried",
+                           "serve.job_finished"}
+    tel = Telemetry()
+    with pytest.raises(ValueError, match="unknown telemetry event"):
+        tel.emit("serve.job_exploded", job_id="j000001")
+    # unknown-namespace records also fail stream validation
+    assert validate_event({"seq": 0, "type": "serve.job_exploded"})
+    assert validate_event({"seq": 0, "type": "mystery.counted"})
+    bad = json.dumps({"seq": 0, "type": "mystery.counted"})
+    good = json.dumps({"seq": 1, "type": "serve.job_finished",
+                       "job_id": "j000001", "state": "done"})
+    problems = validate_jsonl([bad, good])
+    assert len(problems) == 1 and "mystery.counted" in problems[0]
+
+
+def test_serve_collectors_map_stats_onto_schema():
+    from repro.obs import serve_counters, serve_timers
+    from repro.obs.schema import SERVE_COUNTERS, SERVE_TIMERS
+    from repro.serve import ServeStats
+
+    stats = ServeStats(jobs_submitted=7, jobs_completed=5, batches=2,
+                       batched_jobs=5, max_batch_width=3, retries=1,
+                       queue_seconds=0.5, exec_seconds=1.5)
+    stats.observe_latency(0.004)
+    stats.observe_latency(3.0)
+    counters = serve_counters(stats)
+    assert counters["serve.jobs_submitted"] == 7
+    assert counters["serve.batches"] == 2
+    assert counters["serve.latency_le_10ms"] == 1
+    assert counters["serve.latency_le_10s"] == 1
+    assert serve_timers(stats) == {"serve.queue_seconds": 0.5,
+                                   "serve.exec_seconds": 1.5}
+    # every schema entry maps onto a real ServeStats attribute
+    for mapping in (SERVE_COUNTERS, SERVE_TIMERS):
+        for name, attr in mapping.items():
+            assert name.startswith("serve.")
+            assert hasattr(stats, attr)
+    assert stats.mean_batch_width == 2.5
+
+
+# ----------------------------------------------------------------------
 # Back-compat: the legacy stats carriers still exist and agree.
 # ----------------------------------------------------------------------
 def test_sweep_instrumentation_aliases_unified_schema():
