@@ -1,0 +1,109 @@
+"""DSE strategy quality: successive halving vs the exhaustive grid.
+
+Guards this PR's acceptance bar for :mod:`repro.dse`: on a 30-shape
+space scored against six workload traces, the budget-bounded
+successive-halving strategy must reach within 2% of the exhaustive
+grid's best geomean speedup while spending at most 25% of its
+(candidate x workload) evaluation cells.
+
+Cell accounting, deterministic by construction: the exhaustive grid
+runs 30 shapes x 6 workloads = 180 cells.  Successive halving with
+budget 16 screens a seeded sample of 12 candidates on the 2-workload
+cheap subset (24 cells), then promotes the top 3 to the full suite
+(18 cells) — 42 cells, 23.3% of exhaustive.
+
+Both searches and the quality ratio are written to ``BENCH_dse.json``
+next to this file so the trajectory is tracked PR-over-PR.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cgra.shape import ArrayShape, default_immediate_slots
+from repro.dse import ParameterSpace, TraceRunner, explore
+
+WORKLOADS = ("rijndael_e", "sha", "jpeg_e", "quicksort", "rawaudio_d",
+             "stringsearch")
+
+GRID = [
+    ArrayShape(rows=rows, alus_per_row=alus, mults_per_row=2,
+               ldsts_per_row=ldsts,
+               immediate_slots=default_immediate_slots(rows))
+    for rows in (16, 24, 48, 96, 150)
+    for alus in (4, 8, 12)
+    for ldsts in (2, 6)
+]
+
+BUDGET = 16
+SEED = 7
+
+#: search outcomes recorded below; dumped to BENCH_dse.json.
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_results_json():
+    yield
+    if RESULTS:
+        path = Path(__file__).with_name("BENCH_dse.json")
+        path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True)
+                        + "\n")
+
+
+def test_shalving_vs_exhaustive(benchmark, traces, capsys):
+    subset = {name: traces[name] for name in WORKLOADS}
+
+    grid_runner = TraceRunner(ParameterSpace.for_shapes(GRID), subset)
+    start = time.perf_counter()
+    exhaustive = explore(space=grid_runner.space, strategy="grid",
+                         objectives=("speedup", "area"),
+                         runner=grid_runner)
+    grid_seconds = time.perf_counter() - start
+    grid_cells = grid_runner.stats.cells
+    grid_best = exhaustive.best("speedup").geomean_speedup
+
+    sh_runner = TraceRunner(ParameterSpace.for_shapes(GRID), subset)
+    start = time.perf_counter()
+    halved = explore(space=sh_runner.space, strategy="shalving",
+                     objectives=("speedup", "area"), budget=BUDGET,
+                     seed=SEED, runner=sh_runner)
+    sh_seconds = time.perf_counter() - start
+    sh_cells = sh_runner.stats.cells
+    sh_best = halved.best("speedup").geomean_speedup
+
+    quality = sh_best / grid_best
+    cell_ratio = sh_cells / grid_cells
+    RESULTS["grid_cells"] = grid_cells
+    RESULTS["grid_seconds"] = grid_seconds
+    RESULTS["grid_best_speedup"] = grid_best
+    RESULTS["shalving_budget"] = BUDGET
+    RESULTS["shalving_seed"] = SEED
+    RESULTS["shalving_cells"] = sh_cells
+    RESULTS["shalving_seconds"] = sh_seconds
+    RESULTS["shalving_best_speedup"] = sh_best
+    RESULTS["shalving_quality"] = quality
+    RESULTS["shalving_cell_ratio"] = cell_ratio
+    with capsys.disabled():
+        print(f"\nexhaustive grid: best {grid_best:.2f}x in "
+              f"{grid_cells} cells ({grid_seconds:.2f}s); shalving "
+              f"(budget {BUDGET}, seed {SEED}): best {sh_best:.2f}x "
+              f"in {sh_cells} cells ({sh_seconds:.2f}s) -> "
+              f"{quality:.1%} of best at {cell_ratio:.1%} of the cost")
+
+    # acceptance bar: within 2% of the exhaustive best...
+    assert quality >= 0.98
+    # ...using at most a quarter of its evaluation cells.
+    assert cell_ratio <= 0.25
+    # only full-suite evaluations may enter the frontier
+    assert all(point.full for point in halved.points)
+    assert sh_runner.stats.promotions == 3
+
+    tiny = TraceRunner(ParameterSpace.for_shapes(GRID[:4]),
+                       {"quicksort": traces["quicksort"]})
+    benchmark.pedantic(
+        lambda: explore(space=tiny.space, strategy="shalving",
+                        budget=3, seed=SEED, runner=tiny),
+        rounds=1, iterations=1)

@@ -1,69 +1,98 @@
 """Future work #1 of the paper: finding the ideal array shape.
 
-Sweeps a grid of geometries around Table 1's designs, prices each with
-the Table 3 area model, and reports the best shapes by raw speedup and
-by speedup per million gates, plus the area/speedup Pareto front.
+Sweeps a grid of geometries around Table 1's designs through the
+design-space exploration subsystem (:mod:`repro.dse`): an explicit
+:class:`~repro.dse.space.ParameterSpace` over the grid, scored by a
+:class:`~repro.dse.runner.TraceRunner` against pre-simulated traces,
+reported as rankings by raw speedup and by speedup per million gates
+plus the true area/speedup Pareto frontier.
 """
 
 import pytest
 
-from repro.analysis import format_table, pareto_front, search_shapes
-from repro.cgra.shape import ArrayShape
+from repro.analysis import format_table
+from repro.cgra.shape import ArrayShape, default_immediate_slots
+from repro.dse import ParameterSpace, TraceRunner, explore
 
 WORKLOADS = ("rijndael_e", "sha", "jpeg_e", "quicksort", "rawaudio_d",
              "stringsearch")
 
 GRID = [
     ArrayShape(rows=rows, alus_per_row=alus, mults_per_row=2,
-               ldsts_per_row=ldsts, immediate_slots=2 * rows)
+               ldsts_per_row=ldsts,
+               immediate_slots=default_immediate_slots(rows))
     for rows in (16, 48, 150)
     for alus in (4, 8, 12)
     for ldsts in (2, 6)
 ]
 
 
+def _describe(evaluation) -> str:
+    return (f"{evaluation.system}: "
+            f"{evaluation.geomean_speedup:.2f}x, "
+            f"{evaluation.gates:,} gates")
+
+
+def _efficiency(evaluation) -> float:
+    return evaluation.geomean_speedup / (evaluation.gates / 1e6)
+
+
 def test_shape_search(benchmark, traces, capsys):
     subset = {name: traces[name] for name in WORKLOADS}
-    by_speedup = search_shapes(subset, shapes=GRID, rank_by="speedup")
-    by_efficiency = search_shapes(subset, shapes=GRID,
-                                  rank_by="efficiency")
+    space = ParameterSpace.for_shapes(GRID)
+    runner = TraceRunner(space, subset)
+    evaluations = runner.evaluate(space.candidates())
+    by_speedup = sorted(evaluations,
+                        key=lambda e: -e.geomean_speedup)
+    by_efficiency = sorted(evaluations, key=lambda e: -_efficiency(e))
+    # the frontier reuses the runner's memo: zero extra evaluation.
+    result = explore(space=space, strategy="grid",
+                     objectives=("speedup", "area"), runner=runner)
 
     rows = []
-    for candidate in by_speedup[:6]:
-        s = candidate.shape
-        rows.append([f"{s.rows}x({s.alus_per_row}a+2m+{s.ldsts_per_row}l)",
-                     candidate.geomean_speedup, candidate.gates,
-                     candidate.efficiency])
+    for evaluation in by_speedup[:6]:
+        shape = space.shape_of(evaluation.candidate)
+        rows.append([f"{shape.rows}x({shape.alus_per_row}a+2m+"
+                     f"{shape.ldsts_per_row}l)",
+                     evaluation.geomean_speedup, evaluation.gates,
+                     _efficiency(evaluation)])
     table = format_table(["shape", "speedup", "gates", "x/Mgate"], rows,
                          title="Shape search — top shapes by speedup")
     with capsys.disabled():
         print("\n" + table)
-        front = pareto_front(by_speedup)
-        print("\nArea/speedup Pareto front (cheapest first):")
-        for candidate in front:
-            print("  " + candidate.describe())
+        print("\nArea/speedup Pareto frontier "
+              f"(hypervolume {result.hypervolume:.4g}):")
+        for point in sorted(result.points, key=lambda e: e.gates):
+            print("  " + _describe(point))
         best_eff = by_efficiency[0]
-        print(f"\nmost area-efficient: {best_eff.describe()}\n")
+        print(f"\nmost area-efficient: {_describe(best_eff)}\n")
 
     # sanity: the fastest shape is at least as fast as every other
     assert by_speedup[0].geomean_speedup >= \
         by_speedup[-1].geomean_speedup
     # efficiency ranking prefers (much) smaller arrays
     assert by_efficiency[0].gates < by_speedup[0].gates
-    # the Pareto front is monotone in both axes
-    front = pareto_front(by_speedup)
+    # the Pareto frontier is monotone in both axes, cheapest first
+    front = sorted(result.points, key=lambda e: e.gates)
+    assert front
     for a, b in zip(front, front[1:]):
         assert a.gates <= b.gates
         assert a.geomean_speedup < b.geomean_speedup
+    # the fastest evaluated point is always on the frontier
+    assert any(p.candidate == by_speedup[0].candidate
+               for p in result.points)
 
     # budget pruning never simulates over-budget shapes
     budget = 1_000_000
-    limited = search_shapes(subset, shapes=GRID,
-                            area_budget_gates=budget)
-    assert all(c.gates <= budget for c in limited)
+    limited_space = ParameterSpace.for_shapes(GRID,
+                                              area_budget_gates=budget)
+    limited = limited_space.candidates()
+    assert all(limited_space.gates_of(c) <= budget for c in limited)
     assert len(limited) < len(GRID)
 
-    tiny = {"quicksort": traces["quicksort"]}
+    tiny_space = ParameterSpace.for_shapes(GRID[:2])
     benchmark.pedantic(
-        lambda: search_shapes(tiny, shapes=GRID[:2]),
+        lambda: TraceRunner(tiny_space,
+                            {"quicksort": traces["quicksort"]})
+        .evaluate(tiny_space.candidates()),
         rounds=1, iterations=1)

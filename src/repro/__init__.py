@@ -17,6 +17,10 @@ Stable API (the :mod:`repro.api` facade)
 - :func:`repro.connect` — a client for a running ``repro serve``
   evaluation service (:mod:`repro.serve`), which executes the same
   verbs as queued jobs with batch coalescing and warm caches.
+- :func:`repro.explore` — multi-objective design-space exploration
+  (:mod:`repro.dse`): seeded, budget-bounded strategies over the joint
+  (shape, cache, speculation, policy) space returning a Pareto
+  frontier.
 - :class:`repro.Telemetry` / :data:`repro.NULL_TELEMETRY` — the unified
   observability sink accepted by all of the above (:mod:`repro.obs`).
 
@@ -31,6 +35,7 @@ from repro.api import (
     build_config,
     connect,
     evaluate,
+    explore,
     load_target,
     run,
     sweep,
@@ -51,6 +56,7 @@ __all__ = [
     "build_config",
     "connect",
     "evaluate",
+    "explore",
     "load_target",
     "run",
     "sweep",

@@ -1,26 +1,32 @@
 """Array shape-space search — the paper's future work #1.
 
 "Currently, we are working on finding the ideal shape for the
-reconfigurable array."  This module does that search: it sweeps a grid
-of array geometries, evaluates each against a set of workload traces
-with the cycle-exact trace evaluator, prices each with the Table 3 area
-model, and ranks candidates by speedup, by area, or by speedup per gate
-under an optional area budget.
+reconfigurable array."  Historically this module did that search with a
+private exhaustive grid loop; it is now a thin back-compat wrapper over
+the design-space exploration subsystem (:mod:`repro.dse`), which adds
+budget-bounded strategies (random, successive halving, hill climbing),
+multi-objective Pareto frontiers with energy as a first-class axis, and
+execution through the trace-once / replay-many engine or a running
+``repro serve`` instance.
+
+.. deprecated::
+    Prefer :func:`repro.dse.explore` (or the ``repro explore`` CLI) for
+    new code.  :func:`search_shapes` remains supported and returns
+    bit-identical results to its historical implementation — the
+    differential test in ``tests/test_dse.py`` holds it to that.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.cgra.shape import ArrayShape
-from repro.dim.memo import TranslationMemo
+from repro.cgra.shape import ArrayShape, default_immediate_slots
 from repro.dim.params import DimParams
 from repro.sim.stats import TimingModel
 from repro.sim.trace import Trace
-from repro.system.area import AreaParams, area_report
-from repro.system.config import SystemConfig
-from repro.system.traceeval import baseline_metrics, evaluate_trace
+from repro.system.area import AreaParams
 
 
 @dataclass(frozen=True)
@@ -48,7 +54,8 @@ def default_grid() -> List[ArrayShape]:
             for ldsts in (2, 6):
                 shapes.append(ArrayShape(
                     rows=rows, alus_per_row=alus, mults_per_row=2,
-                    ldsts_per_row=ldsts, immediate_slots=2 * rows))
+                    ldsts_per_row=ldsts,
+                    immediate_slots=default_immediate_slots(rows)))
     return shapes
 
 
@@ -64,32 +71,36 @@ def search_shapes(traces: Dict[str, Trace],
     ``rank_by`` is 'speedup' or 'efficiency' (speedup per million
     gates).  Shapes above ``area_budget_gates`` are skipped before any
     simulation happens, so a tight budget makes the search cheap.
+
+    .. deprecated::
+        This is a compatibility wrapper over :mod:`repro.dse` — an
+        explicit :class:`~repro.dse.space.ParameterSpace` over the
+        shape list, scored by a :class:`~repro.dse.runner.TraceRunner`
+        that reproduces the historical float arithmetic exactly.  New
+        code should call :func:`repro.dse.explore`, which also offers
+        cheaper-than-exhaustive strategies and true Pareto frontiers.
     """
+    from repro.dse.objectives import resolve_objectives
+    from repro.dse.runner import TraceRunner
+    from repro.dse.space import ParameterSpace
+    from repro.dse.strategies import GridSearch
+
     if rank_by not in ("speedup", "efficiency"):
         raise ValueError(f"unknown ranking {rank_by!r}")
-    dim = dim or DimParams(cache_slots=64, speculation=True)
-    timing = timing or TimingModel()
-    baselines = {name: baseline_metrics(trace, timing)
-                 for name, trace in traces.items()}
-    # One translation memo per workload, shared across the whole shape
-    # grid: memo keys include the array shape, so results stay identical
-    # while retranslation retries within each evaluation are elided.
-    memos = {name: TranslationMemo() for name in traces}
-    candidates: List[ShapeCandidate] = []
-    for shape in (shapes if shapes is not None else default_grid()):
-        gates = area_report(shape, area_params).total_gates
-        if area_budget_gates is not None and gates > area_budget_gates:
-            continue
-        config = SystemConfig(shape, dim, timing,
-                              name=f"{shape.rows}r{shape.alus_per_row}a")
-        product = 1.0
-        for name, trace in traces.items():
-            metrics = evaluate_trace(trace, config, memo=memos[name])
-            product *= baselines[name].cycles / metrics.cycles
-        geomean = product ** (1.0 / len(traces))
-        candidates.append(ShapeCandidate(
-            shape=shape, gates=gates, geomean_speedup=geomean,
-            efficiency=geomean / (gates / 1e6)))
+    space = ParameterSpace.for_shapes(
+        list(shapes) if shapes is not None else default_grid(),
+        area_budget_gates=area_budget_gates, area_params=area_params)
+    runner = TraceRunner(space, traces, dim=dim, timing=timing)
+    evaluations = GridSearch().explore(
+        space, resolve_objectives(("speedup",)), runner, None,
+        random.Random(0))
+    candidates = [ShapeCandidate(
+        shape=space.shape_of(evaluation.candidate),
+        gates=evaluation.gates,
+        geomean_speedup=evaluation.geomean_speedup,
+        efficiency=evaluation.geomean_speedup
+        / (evaluation.gates / 1e6))
+        for evaluation in evaluations]
     key = (lambda c: c.geomean_speedup) if rank_by == "speedup" \
         else (lambda c: c.efficiency)
     return sorted(candidates, key=key, reverse=True)

@@ -169,11 +169,38 @@ def connect(url: str = "http://127.0.0.1:8350", timeout: float = 60.0):
     return serve_connect(url, timeout=timeout)
 
 
+def explore(space=None, strategy: str = "grid",
+            objectives: Sequence[str] = ("speedup", "area"),
+            workloads: Optional[Sequence[str]] = None,
+            budget: Optional[int] = None, seed: int = 0,
+            jobs: int = 1, fast: bool = False,
+            cache: Optional[ArtifactCache] = None,
+            cache_dir: Optional[Path] = None, client=None,
+            telemetry: Optional[Telemetry] = None, **kwargs):
+    """Seeded, budget-bounded design-space exploration
+    (:mod:`repro.dse`); returns a Pareto
+    :class:`~repro.dse.frontier.FrontierResult`.
+
+    Deferred import so the core API carries no exploration
+    dependencies; see :func:`repro.dse.explore` for the full parameter
+    set (``client`` dispatches evaluation batches to a running
+    ``repro serve`` instance).
+    """
+    from repro.dse import explore as dse_explore
+
+    return dse_explore(space=space, strategy=strategy,
+                       objectives=objectives, workloads=workloads,
+                       budget=budget, seed=seed, jobs=jobs, fast=fast,
+                       cache=cache, cache_dir=cache_dir, client=client,
+                       telemetry=telemetry, **kwargs)
+
+
 __all__ = [
     "Target",
     "RunComparison",
     "build_config",
     "connect",
+    "explore",
     "load_target",
     "run",
     "evaluate",

@@ -61,6 +61,19 @@ class ArrayShape:
         return 1 + fetch
 
 
+def default_immediate_slots(rows: int) -> int:
+    """Immediate-table capacity for an array of ``rows`` lines.
+
+    Two slots per line, so lines — not immediates — are the binding
+    resource (the paper never reports immediate-table saturation).
+    This is the single home of that convention: the shape-search grid
+    (:mod:`repro.analysis.shape_search`) and the DSE parameter space
+    (:mod:`repro.dse.space`) both derive unpinned immediate tables
+    through it.
+    """
+    return 2 * rows
+
+
 #: An effectively unbounded array, used for the paper's "Ideal" columns.
 INFINITE_SHAPE = ArrayShape(rows=1_000_000, alus_per_row=512,
                             mults_per_row=512, ldsts_per_row=512,

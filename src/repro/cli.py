@@ -26,6 +26,16 @@ Usage (installed as ``python -m repro.cli``):
   to the paper's Table 2 matrix.  Result JSON is byte-identical to
   per-configuration ``suite`` runs, serial or parallel, cold or warm
   cache — and identical with or without ``--telemetry``.
+- ``explore [--space spec.json] [--strategy grid|random|shalving|
+  hillclimb] [--budget N] [--objectives speedup,area,energy]
+  [--seed N] [--frontier out.json] [--area-budget GATES] [--only a,b]
+  [--jobs N] [--fast] [--url U] [--telemetry t.jsonl]
+  [--cache-dir DIR] [--no-cache]`` — multi-objective design-space
+  exploration (:mod:`repro.dse`): search the joint (array shape, cache
+  slots, speculation, DIM policy) space with a seeded, budget-bounded
+  strategy and print/export the Pareto frontier.  ``--url`` dispatches
+  evaluation batches to a running ``repro serve``; the frontier JSON
+  is byte-identical across serial, ``--jobs N`` and dispatched runs.
 - ``serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
   [--no-cache] [--capacity N]`` — run the persistent evaluation
   service (:mod:`repro.serve`): an HTTP job queue whose scheduler
@@ -329,6 +339,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from repro.dse import default_space, explore, load_space
+    from repro.system.artifacts import ArtifactCache, default_cache_dir
+
+    try:
+        space = (load_space(args.space) if args.space
+                 else default_space())
+        if args.area_budget is not None:
+            space = _dc.replace(space,
+                                area_budget_gates=args.area_budget)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    names = _parse_workload_subset(args.only)
+    cache = None
+    if not args.no_cache:
+        root = args.cache_dir if args.cache_dir else default_cache_dir()
+        cache = ArtifactCache(root)
+    client = None
+    if args.url:
+        from repro.serve.client import ServeError, connect
+
+        try:
+            client = connect(args.url, timeout=600.0)
+        except (ServeError, OSError) as exc:
+            raise SystemExit(f"cannot reach service at {args.url}: "
+                             f"{exc}")
+    telemetry = Telemetry() if args.telemetry else None
+    objectives = tuple(o.strip() for o in args.objectives.split(",")
+                       if o.strip())
+    try:
+        result = explore(space=space, strategy=args.strategy,
+                         objectives=objectives, workloads=names,
+                         budget=args.budget, seed=args.seed,
+                         jobs=args.jobs, fast=args.fast, cache=cache,
+                         client=client, telemetry=telemetry)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    print(f"{result.strategy} search: {result.evaluations} evaluations "
+          f"({result.cells} cells), seed {result.seed}, "
+          f"budget {result.budget if result.budget is not None else '-'}")
+    print(f"frontier   : {len(result.points)} points "
+          f"({result.dominated} dominated), "
+          f"hypervolume {result.hypervolume:.4g}\n")
+    print(f"{'system':34s} {'gates':>11s} {'speedup':>8s} "
+          f"{'energy':>7s}")
+    for point in result.points:
+        print(f"{point.system:34s} {point.gates:>11,d} "
+              f"{point.geomean_speedup:>7.2f}x "
+              f"{point.geomean_energy_ratio:>6.2f}x")
+    if args.frontier:
+        with open(args.frontier, "w") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\nwrote {args.frontier}")
+    if telemetry is not None:
+        telemetry.write_jsonl(args.telemetry)
+        print(f"wrote {args.telemetry} ({telemetry.events.emitted} "
+              f"events, {telemetry.events.dropped} dropped)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import serve_forever
     from repro.system.artifacts import default_cache_dir
@@ -501,6 +574,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="disable the persistent artifact cache")
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    explore_p = sub.add_parser(
+        "explore",
+        help="multi-objective design-space exploration (Pareto "
+             "frontier over speedup/area/energy)")
+    explore_p.add_argument("--space", default=None,
+                           help="declarative parameter-space JSON "
+                                "(default: the built-in grid around "
+                                "Table 1)")
+    explore_p.add_argument("--strategy", default="grid",
+                           help="search strategy: grid, random, "
+                                "shalving, or hillclimb")
+    explore_p.add_argument("--budget", type=int, default=None,
+                           help="max candidate-evaluations at any "
+                                "fidelity (default: exhaust the space)")
+    explore_p.add_argument("--objectives", default="speedup,area",
+                           help="comma-separated objectives "
+                                "(speedup, area, energy); the first "
+                                "is primary")
+    explore_p.add_argument("--seed", type=int, default=0,
+                           help="RNG seed: same seed + space + budget "
+                                "=> byte-identical frontier")
+    explore_p.add_argument("--frontier", default=None,
+                           help="write the deterministic frontier "
+                                "JSON report")
+    explore_p.add_argument("--area-budget", type=int, default=None,
+                           help="prune candidates above this many "
+                                "total gates before evaluating")
+    explore_p.add_argument("--only", default=None,
+                           help="comma-separated workload subset")
+    explore_p.add_argument("--jobs", type=int, default=1,
+                           help="fan inline evaluation across N "
+                                "processes (results byte-identical)")
+    explore_p.add_argument("--fast", action="store_true",
+                           help="trace workloads through the "
+                                "block-compiled simulator")
+    explore_p.add_argument("--url", default=None,
+                           help="dispatch evaluation batches to a "
+                                "running repro serve instance")
+    explore_p.add_argument("--telemetry", default=None,
+                           help="write the dse.* telemetry event "
+                                "stream as JSONL")
+    explore_p.add_argument("--cache-dir", default=None,
+                           help="artifact-cache directory (default: "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    explore_p.add_argument("--no-cache", action="store_true",
+                           help="disable the persistent artifact "
+                                "cache")
+    explore_p.set_defaults(func=_cmd_explore)
 
     serve_p = sub.add_parser(
         "serve", help="run the persistent evaluation service")

@@ -1,0 +1,194 @@
+"""Pareto dominance, frontier extraction, and the exploration report.
+
+Multi-objective search returns a *frontier*, not a scalar winner: a
+point survives iff no other evaluated point is at least as good on
+every objective and strictly better on one.  This module implements
+that dominance relation (irreflexive and transitive — property-tested
+in ``tests/test_dse.py``), extracts the frontier, summarises it with a
+dominated-hypervolume figure, and serialises the whole exploration as
+deterministic JSON: no timestamps, no timings, no dispatch details, so
+the bytes are identical across serial, ``--jobs N`` and serve-dispatched
+runs of the same seeded search.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.objectives import MINIMIZE, Objective
+
+
+def objective_vector(evaluation, objectives: Sequence[Objective]
+                     ) -> Tuple[float, ...]:
+    """The evaluation's scores in objective order (raw senses kept)."""
+    return tuple(objective.value(evaluation) for objective in objectives)
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              objectives: Sequence[Objective]) -> bool:
+    """True iff ``a`` Pareto-dominates ``b``.
+
+    ``a`` must be at least as good on every objective and strictly
+    better on at least one; equal vectors never dominate each other,
+    which keeps the relation irreflexive.
+    """
+    if len(a) != len(b) or len(a) != len(objectives):
+        raise ValueError("vector/objective arity mismatch")
+    strictly_better = False
+    for av, bv, objective in zip(a, b, objectives):
+        if objective.sense == MINIMIZE:
+            av, bv = -av, -bv
+        if av < bv:
+            return False
+        if av > bv:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]],
+                   objectives: Sequence[Objective]) -> List[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    Duplicate vectors all survive (none dominates its copy), so a
+    frontier never silently drops a distinct design point that ties.
+    """
+    survivors = []
+    for i, candidate in enumerate(vectors):
+        if not any(dominates(other, candidate, objectives)
+                   for j, other in enumerate(vectors) if j != i):
+            survivors.append(i)
+    return survivors
+
+
+def hypervolume(vectors: Sequence[Sequence[float]],
+                objectives: Sequence[Objective],
+                reference: Optional[Sequence[float]] = None) -> float:
+    """Dominated hypervolume of a point set w.r.t. a reference point.
+
+    Every objective is flipped to maximise-sense; ``reference`` defaults
+    to the componentwise worst of the set itself, so boundary points
+    contribute zero and the figure measures the *spread* the frontier
+    covers.  Exact recursive slicing — fine for the small frontiers a
+    DSE run produces, and fully deterministic.
+    """
+    if not vectors:
+        return 0.0
+    oriented = [tuple(-v if o.sense == MINIMIZE else v
+                      for v, o in zip(vec, objectives))
+                for vec in vectors]
+    if reference is None:
+        ref = tuple(min(vec[d] for vec in oriented)
+                    for d in range(len(objectives)))
+    else:
+        ref = tuple(-r if o.sense == MINIMIZE else r
+                    for r, o in zip(reference, objectives))
+    shifted = [tuple(max(0.0, v - r) for v, r in zip(vec, ref))
+               for vec in oriented]
+    return _slice_volume(shifted, len(objectives))
+
+
+def _slice_volume(points: List[Tuple[float, ...]], dims: int) -> float:
+    if not points:
+        return 0.0
+    if dims == 1:
+        return max(p[0] for p in points)
+    ordered = sorted(points, key=lambda p: p[-1], reverse=True)
+    volume = 0.0
+    for i, point in enumerate(ordered):
+        upper = point[-1]
+        lower = ordered[i + 1][-1] if i + 1 < len(ordered) else 0.0
+        if upper > lower:
+            projection = [q[:-1] for q in ordered[:i + 1]]
+            volume += (upper - lower) * _slice_volume(projection,
+                                                      dims - 1)
+    return volume
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """Everything one exploration produced, serialisable and diffable."""
+
+    strategy: str
+    seed: int
+    budget: Optional[int]
+    objectives: Tuple[Objective, ...]
+    workloads: Tuple[str, ...]
+    space: Dict[str, object]
+    #: the Pareto-optimal full-fidelity evaluations, sorted by
+    #: candidate identity (deterministic across dispatch modes).
+    points: Tuple[object, ...]
+    #: full-fidelity evaluations dominated by the frontier.
+    dominated: int
+    #: candidate-evaluations executed (all fidelities).
+    evaluations: int
+    #: (candidate x workload) cells those evaluations cost.
+    cells: int
+    hypervolume: float
+
+    def best(self, objective_name: Optional[str] = None):
+        """The frontier point maximising one objective (default: the
+        primary), ties broken by candidate identity."""
+        names = [o.name for o in self.objectives]
+        name = objective_name or names[0]
+        objective = self.objectives[names.index(name)]
+        ranked = sorted(self.points,
+                        key=lambda e: (-objective.value(e)
+                                       if objective.sense != MINIMIZE
+                                       else objective.value(e),
+                                       e.candidate.id))
+        return ranked[0] if ranked else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": 1,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "objectives": [{"name": o.name, "sense": o.sense}
+                           for o in self.objectives],
+            "workloads": list(self.workloads),
+            "space": self.space,
+            "evaluations": self.evaluations,
+            "cells": self.cells,
+            "dominated": self.dominated,
+            "hypervolume": self.hypervolume,
+            "frontier": [{
+                "candidate": evaluation.candidate.as_dict(),
+                "system": evaluation.system,
+                "gates": evaluation.gates,
+                "geomean_speedup": evaluation.geomean_speedup,
+                "geomean_energy_ratio": evaluation.geomean_energy_ratio,
+                "objectives": {o.name: o.value(evaluation)
+                               for o in self.objectives},
+            } for evaluation in self.points],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic report: byte-identical for the same (space,
+        strategy, seed, budget, objectives, workloads) regardless of
+        ``--jobs``, artifact-cache temperature, or serve dispatch."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def build_frontier(evaluations: Sequence[object],
+                   objectives: Sequence[Objective]
+                   ) -> Tuple[List[object], int, float]:
+    """(frontier sorted by candidate id, dominated count, hypervolume).
+
+    The hypervolume is computed over the *whole* evaluated set with its
+    own worst corner as reference, so it is comparable across strategies
+    that evaluated the same points.
+    """
+    vectors = [objective_vector(e, objectives) for e in evaluations]
+    survivors = pareto_indices(vectors, objectives)
+    front = sorted((evaluations[i] for i in survivors),
+                   key=lambda e: e.candidate.id)
+    volume = hypervolume([vectors[i] for i in survivors], objectives,
+                         reference=[
+                             (max if o.sense == MINIMIZE else min)(
+                                 vec[d] for vec in vectors)
+                             for d, o in enumerate(objectives)]
+                         ) if vectors else 0.0
+    return front, len(evaluations) - len(survivors), volume

@@ -1,0 +1,87 @@
+"""Pluggable scoring objectives over evaluated design points.
+
+An :class:`Objective` reads one number off an
+:class:`~repro.dse.runner.Evaluation` and declares its optimisation
+*sense*; the frontier machinery (:mod:`repro.dse.frontier`) never looks
+inside evaluations itself, so new objectives compose without touching
+dominance or hypervolume code.
+
+The built-in registry mirrors the paper's three evaluation axes:
+
+- ``speedup`` — geometric-mean speedup over the workload set (Table 2),
+  maximised;
+- ``area``    — total gates of the array from the Table 3 model
+  (:mod:`repro.system.area`), minimised;
+- ``energy``  — geometric-mean energy-consumption ratio vs the
+  standalone MIPS (Figures 5-6, :mod:`repro.system.energy`), maximised
+  (the ratio is "how many times *less* energy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+MAXIMIZE = "max"
+MINIMIZE = "min"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One scoring dimension of the exploration."""
+
+    name: str
+    sense: str  # MAXIMIZE or MINIMIZE
+    attr: str   # the Evaluation attribute carrying the value
+    description: str
+
+    def __post_init__(self):
+        if self.sense not in (MAXIMIZE, MINIMIZE):
+            raise ValueError(f"objective sense must be '{MAXIMIZE}' or "
+                             f"'{MINIMIZE}', got {self.sense!r}")
+
+    def value(self, evaluation) -> float:
+        return float(getattr(evaluation, self.attr))
+
+    def better(self, a: float, b: float) -> bool:
+        """True when score ``a`` strictly beats score ``b``."""
+        return a > b if self.sense == MAXIMIZE else a < b
+
+
+#: the built-in objective registry, keyed by CLI/JSON name.
+OBJECTIVES: Dict[str, Objective] = {
+    "speedup": Objective(
+        "speedup", MAXIMIZE, "geomean_speedup",
+        "geometric-mean speedup over the workload set"),
+    "area": Objective(
+        "area", MINIMIZE, "gates",
+        "total array gates (Table 3 area model)"),
+    "energy": Objective(
+        "energy", MAXIMIZE, "geomean_energy_ratio",
+        "geometric-mean energy-consumption ratio vs the plain MIPS"),
+}
+
+
+def resolve_objectives(names: Sequence[str]) -> Tuple[Objective, ...]:
+    """Map objective names onto registry entries, preserving order.
+
+    The first objective is the *primary* one — successive halving ranks
+    rungs by it and the hill climber climbs it.  Raises
+    :class:`ValueError` naming the valid choices on an unknown or
+    duplicate name, and on an empty selection.
+    """
+    if not names:
+        raise ValueError("at least one objective is required")
+    resolved = []
+    seen = set()
+    for name in names:
+        objective = OBJECTIVES.get(name)
+        if objective is None:
+            valid = ", ".join(sorted(OBJECTIVES))
+            raise ValueError(f"unknown objective {name!r}: valid "
+                             f"objectives are {valid}")
+        if name in seen:
+            raise ValueError(f"duplicate objective {name!r}")
+        seen.add(name)
+        resolved.append(objective)
+    return tuple(resolved)

@@ -1,0 +1,173 @@
+"""Pluggable search strategies over a :class:`ParameterSpace`.
+
+A strategy decides *which* candidates to spend the evaluation budget on;
+it never computes a score itself — every number comes from the runner
+(:mod:`repro.dse.runner`), and the frontier is built afterwards from the
+full-fidelity evaluations the strategy returns.  That split keeps every
+strategy trivially deterministic: given the same space, seed and budget,
+the sequence of runner calls — and therefore the frontier — is
+identical whether the runner evaluates inline, with ``--jobs``, or by
+dispatching to a ``repro serve`` instance.
+
+Budget semantics: ``budget`` counts **candidate-evaluations at any
+fidelity** (a successive-halving rung evaluation on the cheap workload
+subset costs one unit, same as a full-suite evaluation).  ``None``
+means unbounded — exhaust the feasible space.  Ranking ties always
+break on :attr:`Candidate.id`, never on dict/hash order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.dse.objectives import MINIMIZE, Objective
+from repro.dse.space import Candidate, ParameterSpace
+
+
+def _rank_key(objective: Objective):
+    """Sort key: best candidate first, ties broken by identity."""
+    if objective.sense == MINIMIZE:
+        return lambda e: (objective.value(e), e.candidate.id)
+    return lambda e: (-objective.value(e), e.candidate.id)
+
+
+class Strategy:
+    """One search policy; subclasses override :meth:`explore`."""
+
+    #: the registry/CLI name.
+    name = ""
+
+    def explore(self, space: ParameterSpace,
+                objectives: Sequence[Objective], runner,
+                budget, rng: random.Random) -> List[object]:
+        """Spend the budget; return full-fidelity evaluations."""
+        raise NotImplementedError
+
+
+class GridSearch(Strategy):
+    """Exhaustive enumeration in the space's deterministic order.
+
+    With a budget smaller than the feasible space, only the first
+    ``budget`` points (enumeration order) are evaluated — predictable,
+    but biased towards the early axes; prefer ``random`` for a fair
+    subsample.
+    """
+
+    name = "grid"
+
+    def explore(self, space, objectives, runner, budget, rng):
+        pool = space.candidates()
+        if budget is not None:
+            pool = pool[:budget]
+        return runner.evaluate(pool)
+
+
+class RandomSearch(Strategy):
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    def explore(self, space, objectives, runner, budget, rng):
+        count = budget if budget is not None else space.size
+        return runner.evaluate(space.sample(count, rng))
+
+
+class SuccessiveHalving(Strategy):
+    """Two-rung successive halving: screen cheap, promote survivors.
+
+    Rung 0 samples ``floor(4B/5)`` candidates and scores each on the
+    cheap workload subset (the first quarter of the runner's workload
+    list); rung 1 promotes the top quarter of the rung — capped by the
+    remaining budget, but always at least one — to the full suite.
+    Only rung-1 (full-fidelity) evaluations are returned; a cheap-subset
+    score is a screening signal, not a comparable result.
+    """
+
+    name = "shalving"
+    keep_fraction = 0.25
+    cheap_fraction = 0.25
+
+    def explore(self, space, objectives, runner, budget, rng):
+        pool = space.candidates()
+        if not pool:
+            return []
+        budget = budget if budget is not None else len(pool)
+        rung = space.sample(max(1, (4 * budget) // 5), rng)
+        cheap = runner.cheap_workloads(self.cheap_fraction)
+        screened = runner.evaluate(rung, cheap)
+        screened = sorted(screened, key=_rank_key(objectives[0]))
+        remaining = budget - len(rung)
+        promote = max(1, min(int(len(rung) * self.keep_fraction),
+                             remaining))
+        runner.rung_promoted(rung_size=len(rung), promoted=promote,
+                             cheap_workloads=len(cheap))
+        return runner.evaluate(
+            [evaluation.candidate for evaluation in screened[:promote]])
+
+
+class HillClimb(Strategy):
+    """Greedy local search with seeded random restarts.
+
+    From a sampled start, repeatedly evaluate the one-step neighbours
+    (axis value moved to an adjacent entry) and move to the first that
+    improves the primary objective; when no neighbour improves (or the
+    space is explicit and has no neighbourhood), restart from a fresh
+    sample until the budget is spent.  Every full evaluation made along
+    the way is returned, so the frontier still sees the whole walk.
+    """
+
+    name = "hillclimb"
+
+    def explore(self, space, objectives, runner, budget, rng):
+        pool = space.candidates()
+        if not pool:
+            return []
+        budget = budget if budget is not None else len(pool)
+        primary = objectives[0]
+        visited: Dict[str, object] = {}
+
+        def score(candidate: Candidate):
+            evaluation = visited.get(candidate.id)
+            if evaluation is None:
+                evaluation = runner.evaluate([candidate])[0]
+                visited[candidate.id] = evaluation
+            return evaluation
+
+        while len(visited) < budget and len(visited) < len(pool):
+            unvisited = [c for c in pool if c.id not in visited]
+            current = unvisited[rng.randrange(len(unvisited))]
+            best = score(current)
+            improving = True
+            while improving and len(visited) < budget:
+                improving = False
+                for neighbor in space.neighbors(current):
+                    if len(visited) >= budget:
+                        break
+                    known = neighbor.id in visited
+                    evaluation = score(neighbor)
+                    if not known and primary.better(
+                            primary.value(evaluation),
+                            primary.value(best)):
+                        current, best = neighbor, evaluation
+                        improving = True
+                        break
+        return sorted(visited.values(), key=lambda e: e.candidate.id)
+
+
+#: the strategy registry, keyed by CLI/JSON name.
+STRATEGIES: Dict[str, Strategy] = {
+    strategy.name: strategy
+    for strategy in (GridSearch(), RandomSearch(), SuccessiveHalving(),
+                     HillClimb())
+}
+
+
+def resolve_strategy(name: str) -> Strategy:
+    """Look up a strategy; :class:`ValueError` names the valid set."""
+    strategy = STRATEGIES.get(name)
+    if strategy is None:
+        valid = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown strategy {name!r}: valid strategies "
+                         f"are {valid}")
+    return strategy

@@ -40,6 +40,8 @@ from repro.obs.events import (
 )
 from repro.obs.schema import (
     dim_counters,
+    dse_counters,
+    dse_timers,
     engine_counters,
     predictor_counters,
     rcache_counters,
@@ -61,6 +63,8 @@ __all__ = [
     "validate_event",
     "validate_jsonl",
     "dim_counters",
+    "dse_counters",
+    "dse_timers",
     "engine_counters",
     "predictor_counters",
     "rcache_counters",

@@ -52,6 +52,10 @@ EVENT_TYPES = frozenset({
     "serve.batch_dispatched",   # a coalesced batch left for a worker
     "serve.job_retried",        # a worker failure triggered a retry
     "serve.job_finished",       # a job reached a terminal state
+    # design-space exploration (repro.dse)
+    "dse.batch_evaluated",      # a candidate batch was scored
+    "dse.rung_promoted",        # shalving promoted survivors to full
+    "dse.frontier_computed",    # an exploration finished its frontier
 })
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))

@@ -18,6 +18,7 @@ Namespaces:
 - ``fastpath.*``   block-compiled engine activity
 - ``sweep.*``      matrix sweep engine phases and cache outcomes
 - ``serve.*``      evaluation-service queue, batching and latency
+- ``dse.*``        design-space exploration budget and frontier
 """
 
 from __future__ import annotations
@@ -109,6 +110,24 @@ SERVE_TIMERS = {
     "serve.exec_seconds": "exec_seconds",
 }
 
+#: carrier: :class:`repro.dse.runner.DseStats`.
+DSE_COUNTERS = {
+    "dse.evaluations": "evaluations",
+    "dse.cells": "cells",
+    "dse.batches": "batches",
+    "dse.full_evaluations": "full_evaluations",
+    "dse.cheap_evaluations": "cheap_evaluations",
+    "dse.promotions": "promotions",
+    "dse.dispatched_batches": "dispatched_batches",
+    "dse.frontier_points": "frontier_points",
+    "dse.dominated": "dominated",
+}
+
+DSE_TIMERS = {
+    "dse.total_seconds": "total_seconds",
+    "dse.evaluate_seconds": "evaluate_seconds",
+}
+
 
 def _collect(obj, mapping: Dict[str, str]) -> Dict[str, int]:
     return {name: getattr(obj, attr) for name, attr in mapping.items()}
@@ -155,3 +174,13 @@ def serve_counters(stats) -> Dict[str, int]:
 def serve_timers(stats) -> Dict[str, float]:
     """Canonical timer values of a ``ServeStats``."""
     return _collect(stats, SERVE_TIMERS)
+
+
+def dse_counters(stats) -> Dict[str, int]:
+    """Canonical counters of a :class:`repro.dse.runner.DseStats`."""
+    return _collect(stats, DSE_COUNTERS)
+
+
+def dse_timers(stats) -> Dict[str, float]:
+    """Canonical timer values of a ``DseStats``."""
+    return _collect(stats, DSE_TIMERS)

@@ -32,6 +32,19 @@ A *job spec* is::
      "names": ["crc", ...] | null,       # evaluate/sweep workload subset
      "fast": bool, "priority": int, "timeout": seconds | null}
 
+A config object names either a Table 1 array (``"array"``) or — for
+design-space exploration clients (:mod:`repro.dse`) — an arbitrary
+geometry plus optional DIM policy overrides::
+
+    {"shape": {"rows": 32, "alus_per_row": 8, "mults_per_row": 2,
+               "ldsts_per_row": 4, ...},   # ArrayShape fields
+     "slots": 64, "speculation": true,
+     "dim": {"cache_policy": "lru", ...}}  # non-default DimParams extras
+
+``"array"`` and ``"shape"`` are mutually exclusive.  Adding the shape
+form is backward-compatible (old clients never send it), so the
+protocol version stays at 1.
+
 Failures are *structured errors*::
 
     {"error": {"code": "<machine code>", "message": "...",
@@ -43,11 +56,14 @@ dispatch on it without parsing prose.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.cgra.shape import ArrayShape, default_immediate_slots
+from repro.dim.params import DimParams
 from repro.system.config import PAPER_SHAPES
 from repro.workloads import workload_names
 
@@ -109,8 +125,29 @@ class ProtocolError(Exception):
         return {"error": error, "protocol": PROTOCOL_VERSION}
 
 
-#: one system configuration on the wire: (array, slots, speculation).
-ConfigSpec = Tuple[str, int, bool]
+#: one system configuration, normalised: ``(first, slots, speculation)``
+#: where ``first`` is a Table 1 array name, or — for custom geometries —
+#: the nested tuple ``("shape", <ArrayShape field values in declaration
+#: order>, <sorted (DimParams extra, value) pairs>)``.  Keeping the
+#: 3-tuple arity means paper-array specs are unchanged on old clients
+#: and servers.
+ConfigSpec = Tuple[object, int, bool]
+
+#: ArrayShape field names, in declaration order — the layout of the
+#: nested shape tuple above and the key set of the wire's ``"shape"``
+#: object.
+SHAPE_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(ArrayShape))
+
+#: the four fields a wire shape object must always carry.
+REQUIRED_SHAPE_FIELDS = ("rows", "alus_per_row", "mults_per_row",
+                         "ldsts_per_row")
+
+#: DimParams fields an explicit ``"dim"`` extras object may override
+#: (slots and speculation have their own top-level wire fields).
+DIM_EXTRA_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(DimParams)
+    if f.name not in ("cache_slots", "speculation"))
 
 
 @dataclass(frozen=True)
@@ -148,9 +185,8 @@ class JobRequest:
     def as_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "kind": self.kind,
-            "configs": [{"array": array, "slots": slots,
-                         "speculation": spec}
-                        for array, slots, spec in self.configs],
+            "configs": [config_spec_dict(spec)
+                        for spec in self.configs],
             "fast": self.fast,
             "priority": self.priority,
             "timeout": self.timeout,
@@ -171,10 +207,84 @@ def _require(condition: bool, code: str, message: str,
         raise ProtocolError(code, message, field_name)
 
 
+def _validate_shape(raw: object, field_name: str) -> Tuple[int, ...]:
+    """Check a wire shape object; return ArrayShape field values in
+    declaration order (immediate slots defaulted by convention)."""
+    _require(isinstance(raw, Mapping), "bad_param",
+             f"{field_name}.shape must be an object", field_name)
+    unknown = set(raw) - set(SHAPE_FIELDS)
+    _require(not unknown, "bad_param",
+             f"{field_name}.shape has unknown fields: "
+             f"{sorted(unknown)}", field_name)
+    missing = [name for name in REQUIRED_SHAPE_FIELDS if name not in raw]
+    _require(not missing, "bad_param",
+             f"{field_name}.shape is missing {', '.join(missing)}",
+             field_name)
+    values: Dict[str, int] = {}
+    for name in SHAPE_FIELDS:
+        if name not in raw:
+            continue
+        value = raw[name]
+        _require(isinstance(value, int) and not isinstance(value, bool)
+                 and value > 0, "bad_param",
+                 f"{field_name}.shape.{name} must be a positive "
+                 f"integer", field_name)
+        values[name] = value
+    shape = ArrayShape(**values) if "immediate_slots" in values else \
+        ArrayShape(**values, immediate_slots=default_immediate_slots(
+            values["rows"]))
+    return tuple(getattr(shape, name) for name in SHAPE_FIELDS)
+
+
+def _validate_dim_extras(raw: object, field_name: str
+                         ) -> Tuple[Tuple[str, object], ...]:
+    """Check a wire ``dim`` extras object; return sorted (name, value)
+    pairs, type-checked against the DimParams field defaults."""
+    _require(isinstance(raw, Mapping), "bad_param",
+             f"{field_name}.dim must be an object", field_name)
+    unknown = set(raw) - set(DIM_EXTRA_FIELDS)
+    _require(not unknown, "bad_param",
+             f"{field_name}.dim has unknown fields: {sorted(unknown)} "
+             f"(slots/speculation are top-level)", field_name)
+    defaults = DimParams()
+    extras: List[Tuple[str, object]] = []
+    for name in sorted(raw):
+        value = raw[name]
+        expected = type(getattr(defaults, name))
+        ok = isinstance(value, expected) and (
+            expected is not int or not isinstance(value, bool))
+        _require(ok, "bad_param",
+                 f"{field_name}.dim.{name} must be "
+                 f"{expected.__name__}", field_name)
+        extras.append((name, value))
+    return tuple(extras)
+
+
 def _validate_config(entry: object, index: int) -> ConfigSpec:
     field_name = f"configs[{index}]"
     _require(isinstance(entry, Mapping), "bad_param",
              f"{field_name} must be an object", field_name)
+    _require(not ("array" in entry and "shape" in entry), "bad_param",
+             f"{field_name} names both an array and a shape; they are "
+             f"mutually exclusive", field_name)
+    slots = entry.get("slots", 64)
+    _require(isinstance(slots, int) and not isinstance(slots, bool)
+             and slots > 0, "bad_param",
+             f"{field_name}.slots must be a positive integer",
+             field_name)
+    speculation = entry.get("speculation", False)
+    _require(isinstance(speculation, bool), "bad_param",
+             f"{field_name}.speculation must be a boolean", field_name)
+
+    if "shape" in entry:
+        unknown = set(entry) - {"shape", "slots", "speculation", "dim"}
+        _require(not unknown, "bad_param",
+                 f"{field_name} has unknown fields: {sorted(unknown)}",
+                 field_name)
+        shape = _validate_shape(entry["shape"], field_name)
+        extras = _validate_dim_extras(entry.get("dim", {}), field_name)
+        return (("shape", shape, extras), slots, speculation)
+
     array = entry.get("array", "C3")
     _require(isinstance(array, str), "bad_param",
              f"{field_name}.array must be a string", field_name)
@@ -184,19 +294,51 @@ def _validate_config(entry: object, index: int) -> ConfigSpec:
             "unknown_array",
             f"unknown array {array!r}: valid array names are {valid}",
             field_name)
-    slots = entry.get("slots", 64)
-    _require(isinstance(slots, int) and not isinstance(slots, bool)
-             and slots > 0, "bad_param",
-             f"{field_name}.slots must be a positive integer",
-             field_name)
-    speculation = entry.get("speculation", False)
-    _require(isinstance(speculation, bool), "bad_param",
-             f"{field_name}.speculation must be a boolean", field_name)
     unknown = set(entry) - {"array", "slots", "speculation"}
     _require(not unknown, "bad_param",
-             f"{field_name} has unknown fields: {sorted(unknown)}",
-             field_name)
+             f"{field_name} has unknown fields: {sorted(unknown)} "
+             f"(dim extras require the shape form)", field_name)
     return (array, slots, speculation)
+
+
+def config_spec_dict(spec: ConfigSpec) -> Dict[str, object]:
+    """A normalised :data:`ConfigSpec` back in its wire form."""
+    first, slots, speculation = spec
+    if isinstance(first, str):
+        return {"array": first, "slots": slots,
+                "speculation": speculation}
+    _, shape_values, extras = first
+    payload: Dict[str, object] = {
+        "shape": dict(zip(SHAPE_FIELDS, shape_values)),
+        "slots": slots,
+        "speculation": speculation,
+    }
+    if extras:
+        payload["dim"] = dict(extras)
+    return payload
+
+
+def config_from_spec(spec: ConfigSpec):
+    """Build the :class:`~repro.system.config.SystemConfig` one
+    normalised spec denotes.
+
+    The single wire-to-system constructor: the scheduler's batch
+    execution routes every config through here, so a paper-array spec
+    still lands on :func:`repro.api.build_config` and a shape spec on
+    :func:`repro.system.config.custom_system` — with exactly the name
+    the submitting :class:`repro.dse.space.ParameterSpace` predicts.
+    """
+    from repro.api import build_config
+    from repro.system.config import custom_system
+
+    first, slots, speculation = spec
+    if isinstance(first, str):
+        return build_config(first, slots, speculation)
+    _, shape_values, extras = first
+    shape = ArrayShape(**dict(zip(SHAPE_FIELDS, shape_values)))
+    dim = DimParams(cache_slots=slots, speculation=speculation,
+                    **dict(extras))
+    return custom_system(shape, dim)
 
 
 def _validate_names(raw: object) -> Optional[Tuple[str, ...]]:

@@ -60,10 +60,9 @@ def _init_worker(cache_root: Optional[str]) -> None:
 
 
 def _build_configs(specs: Sequence[ConfigSpec]):
-    from repro.api import build_config
+    from repro.serve.protocol import config_from_spec
 
-    return [build_config(array, slots, speculation)
-            for array, slots, speculation in specs]
+    return [config_from_spec(spec) for spec in specs]
 
 
 def run_batch(spec: BatchSpec) -> Dict[str, object]:

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
 
-from repro.cgra.shape import ArrayShape, INFINITE_SHAPE
+from repro.cgra.shape import (
+    ArrayShape,
+    INFINITE_SHAPE,
+    default_immediate_slots,
+)
 from repro.dim.params import DimParams
 from repro.sim.stats import TimingModel
 
@@ -62,3 +66,55 @@ def paper_system(array: str = "C3", slots: int = 64,
     spec_tag = "spec" if speculation else "nospec"
     return SystemConfig(shape, dim, TimingModel(),
                         name=f"{array}/{slots}/{spec_tag}")
+
+
+def custom_name(shape: ArrayShape, dim: DimParams) -> str:
+    """The canonical name of an arbitrary (shape, dim) system.
+
+    The scheme is injective over (shape, dim): the geometry is always
+    spelled out, shape timing fields appear only when they differ from
+    the :class:`ArrayShape` defaults (immediate slots: from the
+    two-per-line convention), and DIM policy fields beyond
+    slots/speculation ride in a sorted ``+key=value`` suffix.  Two
+    different systems can therefore never collide, which is what lets
+    the matrix engine and the evaluation service deduplicate and slice
+    configurations by name alone.
+    """
+    base = (f"r{shape.rows}x{shape.alus_per_row}a"
+            f"{shape.mults_per_row}m{shape.ldsts_per_row}l")
+    if shape.immediate_slots != default_immediate_slots(shape.rows):
+        base += f"-i{shape.immediate_slots}"
+    defaults = ArrayShape(rows=shape.rows,
+                          alus_per_row=shape.alus_per_row,
+                          mults_per_row=shape.mults_per_row,
+                          ldsts_per_row=shape.ldsts_per_row)
+    if shape.alu_chain != defaults.alu_chain:
+        base += f"-c{shape.alu_chain}"
+    if (shape.rf_read_ports != defaults.rf_read_ports
+            or shape.rf_write_ports != defaults.rf_write_ports):
+        base += f"-p{shape.rf_read_ports}.{shape.rf_write_ports}"
+    spec_tag = "spec" if dim.speculation else "nospec"
+    name = f"{base}/{dim.cache_slots}/{spec_tag}"
+    dim_defaults = DimParams(cache_slots=dim.cache_slots,
+                             speculation=dim.speculation)
+    extras = sorted(
+        (f.name, getattr(dim, f.name)) for f in fields(DimParams)
+        if getattr(dim, f.name) != getattr(dim_defaults, f.name))
+    if extras:
+        name += "+" + ",".join(f"{key}={value}"
+                               for key, value in extras)
+    return name
+
+
+def custom_system(shape: ArrayShape, dim: Optional[DimParams] = None,
+                  timing: Optional[TimingModel] = None) -> SystemConfig:
+    """Build a system around an arbitrary array shape.
+
+    The constructor behind every design-space exploration point
+    (:mod:`repro.dse`): any geometry, any DIM policy, canonically named
+    via :func:`custom_name` so distinct systems never share a name.
+    """
+    dim = dim if dim is not None else DimParams()
+    return SystemConfig(shape, dim,
+                        timing if timing is not None else TimingModel(),
+                        name=custom_name(shape, dim))
