@@ -57,10 +57,21 @@ def warm_runs():
 
 
 def test_matrix_vs_looped_suite(warm_runs, capsys):
-    """Acceptance bar #1: the matrix is >=3x the per-config loop."""
+    """Acceptance bar #1: the matrix is >=3x the per-config loop.
+
+    Both replay engines are timed: the memoized event path and (when
+    numpy is present) the default columnar path; every path's JSON is
+    byte-identical.
+    """
+    from repro.system.colreplay import columnar_available
+
     start = time.perf_counter()
     looped = [evaluate_suite(config, fast=True) for config in CONFIGS]
     looped_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    event_matrix = evaluate_matrix(CONFIGS, fast=True, engine="event")
+    event_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     matrix = evaluate_matrix(CONFIGS, fast=True)
@@ -68,19 +79,26 @@ def test_matrix_vs_looped_suite(warm_runs, capsys):
 
     for config, suite in zip(CONFIGS, looped):
         assert matrix.suite(config.name).to_json() == suite.to_json()
+    assert event_matrix.results_json() == matrix.results_json()
 
     inst = matrix.instrumentation
+    engine = "columnar" if columnar_available() else "event"
     speedup = looped_seconds / matrix_seconds
     RESULTS["matrix_workloads"] = inst.workloads
     RESULTS["matrix_systems"] = inst.systems
     RESULTS["matrix_cells"] = inst.cells
+    RESULTS["matrix_engine"] = engine
     RESULTS["looped_suite_seconds"] = looped_seconds
+    RESULTS["matrix_event_seconds"] = event_seconds
     RESULTS["matrix_seconds"] = matrix_seconds
     RESULTS["matrix_speedup_over_looped_suite"] = speedup
+    RESULTS["matrix_event_speedup_over_looped_suite"] = \
+        looped_seconds / event_seconds
     RESULTS["matrix_alloc_hit_rate"] = inst.alloc_hit_rate
     with capsys.disabled():
         print(f"\nlooped evaluate_suite: {looped_seconds:.2f}s, "
-              f"evaluate_matrix: {matrix_seconds:.2f}s -> "
+              f"evaluate_matrix[event]: {event_seconds:.2f}s, "
+              f"evaluate_matrix[{engine}]: {matrix_seconds:.2f}s -> "
               f"{speedup:.2f}x (alloc memo {inst.alloc_hit_rate:.1%})")
     assert inst.workloads == 18 and inst.systems >= 12
     assert speedup >= 3.0

@@ -301,7 +301,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     telemetry = Telemetry() if args.telemetry else None
     matrix = evaluate_matrix(configs, names=names, jobs=args.jobs,
                              fast=args.fast, cache=cache,
-                             telemetry=telemetry)
+                             telemetry=telemetry, engine=args.engine)
 
     print(f"{'system':16s} {'geomean speedup':>16s} "
           f"{'geomean energy':>15s}")
@@ -316,8 +316,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"traces     : {inst.traces_simulated} simulated, "
           f"{inst.traces_from_disk} from disk, "
           f"{inst.traces_in_memory} in memory")
-    print(f"cells      : {inst.cells_replayed} replayed, "
+    print(f"cells      : {inst.cells_replayed} replayed "
+          f"({inst.cells_columnar} columnar), "
           f"{inst.cells_from_disk} from disk artifacts")
+    if inst.columnar_fallback:
+        print(f"engine     : columnar unavailable (numpy missing); "
+              f"{inst.columnar_fallback} workload rows fell back to "
+              f"the event engine")
     print(f"alloc memo : {inst.alloc_hit_rate:.1%} hit rate "
           f"({inst.alloc_hits:,} hits)")
     if cache is not None:
@@ -573,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "$REPRO_CACHE_DIR or ~/.cache/repro)")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="disable the persistent artifact cache")
+    sweep_p.add_argument("--engine", default="auto",
+                         choices=("auto", "event", "columnar"),
+                         help="replay engine: the vectorised columnar "
+                              "evaluator or the event-driven loop "
+                              "(auto picks columnar when numpy is "
+                              "available; results are identical)")
     sweep_p.set_defaults(func=_cmd_sweep)
 
     explore_p = sub.add_parser(

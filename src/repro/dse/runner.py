@@ -39,6 +39,12 @@ from repro.obs.schema import dse_counters, dse_timers
 from repro.sim.stats import TimingModel
 from repro.sim.trace import Trace
 from repro.system.artifacts import ArtifactCache
+from repro.system.colreplay import (
+    ColumnarContext,
+    baseline_metrics_columnar,
+    columnar_available,
+    evaluate_trace_columnar,
+)
 from repro.system.config import SystemConfig, custom_system
 from repro.system.energy import EnergyParams, energy_ratio
 from repro.system.sweep import evaluate_matrix
@@ -260,8 +266,12 @@ class TraceRunner(_RunnerBase):
     wrapper, so it deliberately replays that function's exact float
     arithmetic: per-workload speedups multiplied in trace-dict order,
     then one ``** (1/n)`` — same operations, same order, same bits.
-    One :class:`~repro.dim.memo.TranslationMemo` per workload is shared
+    With numpy present each workload keeps one shared
+    :class:`~repro.system.colreplay.ColumnarContext`; otherwise one
+    :class:`~repro.dim.memo.TranslationMemo` per workload is shared
     across every candidate, exactly as the old grid loop shared it.
+    Both engines compute bit-identical metrics, so the scores (and any
+    frontier built from them) do not depend on which one ran.
     """
 
     def __init__(self, space: ParameterSpace,
@@ -279,9 +289,21 @@ class TraceRunner(_RunnerBase):
             else DimParams(cache_slots=64, speculation=True)
         self.timing = timing if timing is not None else TimingModel()
         self.energy_params = energy_params
-        self.baselines = {name: baseline_metrics(trace, self.timing)
-                          for name, trace in self.traces.items()}
-        self.memos = {name: TranslationMemo() for name in self.traces}
+        # columnar when numpy is importable, event-driven otherwise;
+        # both produce bit-identical metrics, so the frontier is the
+        # same either way.
+        self.contexts: Optional[Dict[str, ColumnarContext]] = None
+        self.memos: Optional[Dict[str, TranslationMemo]] = None
+        if columnar_available():
+            self.contexts = {name: ColumnarContext(trace, name=name)
+                             for name, trace in self.traces.items()}
+            self.baselines = {
+                name: baseline_metrics_columnar(context, self.timing)
+                for name, context in self.contexts.items()}
+        else:
+            self.baselines = {name: baseline_metrics(trace, self.timing)
+                              for name, trace in self.traces.items()}
+            self.memos = {name: TranslationMemo() for name in self.traces}
 
     def _score_batch(self, batch, names):
         wanted = set(names)
@@ -295,8 +317,13 @@ class TraceRunner(_RunnerBase):
             for name, trace in self.traces.items():
                 if name not in wanted:
                     continue
-                metrics = evaluate_trace(trace, config,
-                                         memo=self.memos[name])
+                if self.contexts is not None:
+                    metrics = evaluate_trace_columnar(
+                        trace, config, name=name,
+                        context=self.contexts[name])
+                else:
+                    metrics = evaluate_trace(trace, config,
+                                             memo=self.memos[name])
                 base = self.baselines[name]
                 speed_product *= base.cycles / metrics.cycles
                 energy_product *= energy_ratio(base, metrics,

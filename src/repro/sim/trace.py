@@ -10,6 +10,8 @@ to replay the complete DIM state machine without re-executing the program
 
 from __future__ import annotations
 
+from array import array
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -108,11 +110,36 @@ class Trace:
     table: BlockTable
     events: List[TraceEvent] = field(default_factory=list)
 
+    #: cached (ids, taken, length) triple backing :meth:`event_arrays`;
+    #: not part of the dataclass proper (excluded from eq/repr/pickle
+    #: of the payload shape the artifact cache stores).
+    _event_arrays: Optional[Tuple[array, bytes, int]] = \
+        field(default=None, repr=False, compare=False)
+
     def block_execution_counts(self) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
-        for event in self.events:
-            counts[event.block_id] = counts.get(event.block_id, 0) + 1
-        return counts
+        return Counter(event.block_id for event in self.events)
+
+    def event_arrays(self) -> Tuple[array, bytes]:
+        """The events as flat columns: (block ids ``array('I')``, taken
+        flags ``bytes``).
+
+        Computed once and cached on the instance, so the artifact
+        encoder and the columnar replay engine share a single lowering
+        pass.  The cache is invalidated if events were appended since.
+        """
+        cached = self._event_arrays
+        if cached is None or cached[2] != len(self.events):
+            ids = array("I", (event.block_id for event in self.events))
+            taken = bytes(1 if event.taken else 0
+                          for event in self.events)
+            cached = (ids, taken, len(self.events))
+            self._event_arrays = cached
+        return cached[0], cached[1]
+
+    def seed_event_arrays(self, ids: array, taken: bytes) -> None:
+        """Adopt precomputed event columns (artifact-cache decode path)."""
+        if len(ids) == len(self.events) and len(taken) == len(self.events):
+            self._event_arrays = (ids, taken, len(self.events))
 
     def __len__(self) -> int:
         return len(self.events)

@@ -71,8 +71,7 @@ def default_cache_dir() -> Path:
 
 def _encode_trace(trace: Trace) -> dict:
     """Columnar trace encoding: ~10x fewer pickled objects than events."""
-    ids = array("I", (event.block_id for event in trace.events))
-    taken = bytes(1 if event.taken else 0 for event in trace.events)
+    ids, taken = trace.event_arrays()
     return {"table": trace.table, "event_ids": ids, "event_taken": taken}
 
 
@@ -81,7 +80,9 @@ def _decode_trace(payload: dict) -> Trace:
     events = [TraceEvent(block_id, taken != 0)
               for block_id, taken in zip(payload["event_ids"],
                                          payload["event_taken"])]
-    return Trace(table, events)
+    trace = Trace(table, events)
+    trace.seed_event_arrays(payload["event_ids"], payload["event_taken"])
+    return trace
 
 
 class ArtifactCache:

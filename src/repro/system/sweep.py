@@ -49,9 +49,17 @@ from typing import (
 from repro.dim.memo import TranslationMemo
 from repro.obs import Telemetry
 from repro.obs.schema import sweep_counters, sweep_timers
+from repro.sim.coltrace import ColumnarTrace
 from repro.sim.stats import TimingModel
 from repro.sim.trace import Trace
 from repro.system.artifacts import ArtifactCache
+from repro.system.colreplay import (
+    ColumnarContext,
+    baseline_metrics_columnar,
+    columnar_available,
+    evaluate_trace_columnar,
+    replay_trace_columnar,
+)
 from repro.system.config import (
     PAPER_CACHE_SLOTS,
     SystemConfig,
@@ -71,6 +79,38 @@ if TYPE_CHECKING:
 #: in-process trace cache for traces recovered from disk artifacts
 #: (run_workload keeps its own cache for traces it simulated).
 _DISK_TRACES: Dict[str, Trace] = {}
+
+#: in-process columnar contexts, one per workload; reused across sweeps
+#: (and across service batches) as long as the trace object is the same.
+_COL_CONTEXTS: Dict[str, ColumnarContext] = {}
+
+#: the engine choices accepted by every replay entry point.
+ENGINES = ("auto", "event", "columnar")
+
+
+def _resolve_engine(engine: str, observing: bool = False
+                    ) -> Tuple[str, bool]:
+    """(resolved engine, fell_back): which replay engine to run.
+
+    ``auto`` selects the columnar engine whenever numpy is importable
+    and no event-level telemetry sink is attached — the columnar engine
+    computes bit-identical metrics but does not emit the per-event
+    engine telemetry stream, so an observing sweep keeps the event
+    engine.  ``fell_back`` is True when the columnar engine was wanted
+    (explicitly or by default) but numpy is unavailable; callers count
+    it under ``sweep.columnar_fallback``.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown replay engine {engine!r}; "
+                         f"expected one of {ENGINES}")
+    if engine == "event":
+        return "event", False
+    available = columnar_available()
+    if engine == "columnar":
+        return ("columnar", False) if available else ("event", True)
+    if observing:
+        return "event", False
+    return ("columnar", False) if available else ("event", True)
 
 
 def paper_matrix() -> List[SystemConfig]:
@@ -111,6 +151,11 @@ class SweepInstrumentation:
     #: per-cell outcome: replayed live vs served from disk artifacts.
     cells_replayed: int = 0
     cells_from_disk: int = 0
+    #: of the replayed cells, how many ran on the columnar engine.
+    cells_columnar: int = 0
+    #: workload rows that wanted the columnar engine but fell back to
+    #: the event engine because numpy is unavailable.
+    columnar_fallback: int = 0
     baselines_computed: int = 0
     baselines_from_disk: int = 0
     #: translation-memo totals across all workloads.
@@ -152,7 +197,8 @@ class SweepInstrumentation:
         for name in ("trace_seconds", "replay_seconds",
                      "traces_simulated", "traces_from_disk",
                      "traces_in_memory", "cells_replayed",
-                     "cells_from_disk", "baselines_computed",
+                     "cells_from_disk", "cells_columnar",
+                     "columnar_fallback", "baselines_computed",
                      "baselines_from_disk", "alloc_hits", "alloc_misses",
                      "artifact_hits", "artifact_misses",
                      "artifact_stores"):
@@ -183,6 +229,13 @@ def metrics_artifact_key(cache: ArtifactCache, name: str,
                          config: SystemConfig) -> str:
     source = get_workload(name).source
     return cache.key("metrics", name, source, TRACE_TIMING, config)
+
+
+def coltrace_artifact_key(cache: ArtifactCache, name: str) -> str:
+    """Key of the persisted columnar lowering (event columns plus the
+    predictor timelines built so far)."""
+    source = get_workload(name).source
+    return cache.key("coltrace", name, source, TRACE_TIMING)
 
 
 # ----------------------------------------------------------------------
@@ -224,10 +277,14 @@ def _obtain_trace(name: str, fast: bool, cache: Optional[ArtifactCache],
 # ----------------------------------------------------------------------
 def replay_workload(trace: Trace, configs: Sequence[SystemConfig],
                     memo: Optional[TranslationMemo] = None,
-                    name: str = "") -> List[SystemMetrics]:
+                    name: str = "",
+                    engine: str = "auto") -> List[SystemMetrics]:
     """Replay one trace under many configurations with shared
     translations.  Results are identical to independent
-    :func:`evaluate_trace` calls."""
+    :func:`evaluate_trace` calls, whichever engine runs."""
+    resolved, _ = _resolve_engine(engine)
+    if resolved == "columnar":
+        return replay_trace_columnar(trace, configs, name=name)
     memo = memo if memo is not None else TranslationMemo()
     return [evaluate_trace(trace, config, name=name, memo=memo)
             for config in configs]
@@ -235,7 +292,8 @@ def replay_workload(trace: Trace, configs: Sequence[SystemConfig],
 
 def replay_matrix(traces: Mapping[str, Trace],
                   configs: Sequence[SystemConfig],
-                  cache: Optional[ArtifactCache] = None
+                  cache: Optional[ArtifactCache] = None,
+                  engine: str = "auto"
                   ) -> Dict[Tuple[str, int], SystemMetrics]:
     """Metrics for every (workload, configuration index) cell.
 
@@ -245,19 +303,28 @@ def replay_matrix(traces: Mapping[str, Trace],
     disk cache when the trace belongs to a named workload.
     """
     known = set(workload_names())
+    resolved, _ = _resolve_engine(engine)
     results: Dict[Tuple[str, int], SystemMetrics] = {}
     for name, trace in traces.items():
         cacheable = cache is not None and name in known
         keys = [metrics_artifact_key(cache, name, config)
                 if cacheable else None for config in configs]
         memo: Optional[TranslationMemo] = None
+        context: Optional[ColumnarContext] = None
         for index, config in enumerate(configs):
             metrics = cache.load(keys[index]) if cacheable else None
             if metrics is None:
-                if memo is None:
-                    memo = TranslationMemo()
-                metrics = evaluate_trace(trace, config, name=name,
-                                         memo=memo)
+                if resolved == "columnar":
+                    if context is None:
+                        context = ColumnarContext(trace, name=name)
+                    metrics = evaluate_trace_columnar(trace, config,
+                                                      name=name,
+                                                      context=context)
+                else:
+                    if memo is None:
+                        memo = TranslationMemo()
+                    metrics = evaluate_trace(trace, config, name=name,
+                                             memo=memo)
                 if cacheable:
                     cache.store(keys[index], metrics)
             results[(name, index)] = metrics
@@ -266,7 +333,7 @@ def replay_matrix(traces: Mapping[str, Trace],
 
 def _sweep_workload(name: str, configs: Sequence[SystemConfig],
                     fast: bool, cache: Optional[ArtifactCache],
-                    telemetry=None
+                    telemetry=None, engine: str = "auto"
                     ) -> Tuple[Dict[TimingModel, SystemMetrics],
                                List[SystemMetrics], SweepInstrumentation]:
     """All cells of one workload row, with maximal sharing.
@@ -274,12 +341,15 @@ def _sweep_workload(name: str, configs: Sequence[SystemConfig],
     Returns the per-timing baselines, one accelerated metrics per
     configuration, and the row's instrumentation counters.  An injected
     ``telemetry`` sink receives one ``sweep.cell_replayed`` event per
-    live cell plus the full engine-level event stream of each replay;
-    it never changes the metrics.
+    live cell plus (on the event engine) the engine-level event stream
+    of each replay; it never changes the metrics.
     """
     inst = SweepInstrumentation()
     trace: Optional[Trace] = None
     observing = telemetry is not None and telemetry.enabled
+    resolved, fell_back = _resolve_engine(engine, observing)
+    if fell_back:
+        inst.columnar_fallback += 1
 
     def ensure_trace() -> Trace:
         nonlocal trace
@@ -287,31 +357,68 @@ def _sweep_workload(name: str, configs: Sequence[SystemConfig],
             trace = _obtain_trace(name, fast, cache, inst)
         return trace
 
+    # shared columnar state: one lowered trace + translation caches per
+    # workload, reused across sweeps while the trace object persists,
+    # seeded from (and persisted back to) the artifact cache.
+    context: Optional[ColumnarContext] = None
+    coltrace_loaded = False
+    timelines_loaded = 0
+
+    def ensure_context() -> ColumnarContext:
+        nonlocal context, coltrace_loaded, timelines_loaded
+        if context is None:
+            body = ensure_trace()
+            cached_context = _COL_CONTEXTS.get(name)
+            if cached_context is not None and cached_context.trace is body:
+                context = cached_context
+                coltrace_loaded = True
+                timelines_loaded = context.coltrace.timelines_built
+                return context
+            coltrace: Optional[ColumnarTrace] = None
+            if cache is not None:
+                payload = cache.load(coltrace_artifact_key(cache, name))
+                if payload is not None:
+                    coltrace = ColumnarTrace.from_payload(body, payload)
+            coltrace_loaded = coltrace is not None
+            context = ColumnarContext(body, name=name, coltrace=coltrace)
+            timelines_loaded = context.coltrace.timelines_built
+            _COL_CONTEXTS[name] = context
+        return context
+
     # accelerated metrics, one per configuration, disk-cached per cell
-    cell_metrics: List[SystemMetrics] = []
+    cell_metrics: List[Optional[SystemMetrics]] = []
     memo: Optional[TranslationMemo] = None
     for config in configs:
         metrics = None
         if cache is not None:
             metrics = cache.load(metrics_artifact_key(cache, name, config))
-        if metrics is None:
+        if metrics is not None:
+            inst.cells_from_disk += 1
+        cell_metrics.append(metrics)
+    for index, config in enumerate(configs):
+        if cell_metrics[index] is not None:
+            continue
+        replay_start = time.perf_counter()
+        if resolved == "columnar":
+            ctx = ensure_context()
+            metrics = evaluate_trace_columnar(ctx.trace, config,
+                                              name=name, context=ctx)
+            inst.cells_columnar += 1
+        else:
             body = ensure_trace()
-            replay_start = time.perf_counter()
             if memo is None:
                 memo = TranslationMemo()
             metrics = evaluate_trace(body, config, name=name, memo=memo,
                                      telemetry=telemetry)
-            inst.replay_seconds += time.perf_counter() - replay_start
-            inst.cells_replayed += 1
-            if observing:
-                telemetry.emit("sweep.cell_replayed", workload=name,
-                               system=config.name, cycles=metrics.cycles)
-            if cache is not None:
-                cache.store(metrics_artifact_key(cache, name, config),
-                            metrics)
-        else:
-            inst.cells_from_disk += 1
-        cell_metrics.append(metrics)
+        inst.replay_seconds += time.perf_counter() - replay_start
+        inst.cells_replayed += 1
+        if observing:
+            telemetry.emit("sweep.cell_replayed", workload=name,
+                           system=config.name, cycles=metrics.cycles)
+        if cache is not None:
+            cache.store(metrics_artifact_key(cache, name, config),
+                        metrics)
+        cell_metrics[index] = metrics
 
     # baselines, one per distinct core timing model
     baselines: Dict[TimingModel, SystemMetrics] = {}
@@ -323,9 +430,12 @@ def _sweep_workload(name: str, configs: Sequence[SystemConfig],
             base = cache.load(
                 baseline_artifact_key(cache, name, config.timing))
         if base is None:
-            body = ensure_trace()
             replay_start = time.perf_counter()
-            base = baseline_metrics(body, config.timing)
+            if resolved == "columnar":
+                base = baseline_metrics_columnar(ensure_context(),
+                                                 config.timing)
+            else:
+                base = baseline_metrics(ensure_trace(), config.timing)
             inst.replay_seconds += time.perf_counter() - replay_start
             inst.baselines_computed += 1
             if cache is not None:
@@ -339,6 +449,16 @@ def _sweep_workload(name: str, configs: Sequence[SystemConfig],
     if memo is not None:
         inst.alloc_hits += memo.hits
         inst.alloc_misses += memo.misses
+    if context is not None:
+        inst.alloc_hits += context.alloc_hits
+        inst.alloc_misses += context.alloc_misses
+        context.alloc_hits = 0
+        context.alloc_misses = 0
+        if cache is not None and (
+                not coltrace_loaded
+                or context.coltrace.timelines_built != timelines_loaded):
+            cache.store(coltrace_artifact_key(cache, name),
+                        context.coltrace.to_payload())
     if cache is not None:
         inst.artifact_hits += cache.hits
         inst.artifact_misses += cache.misses
@@ -354,11 +474,12 @@ def _matrix_worker(args):
     the parent re-emits in task order, so the merged stream is
     deterministic regardless of worker scheduling.
     """
-    name, configs, fast, cache_root, events_max = args
+    name, configs, fast, cache_root, events_max, engine = args
     cache = ArtifactCache(cache_root) if cache_root is not None else None
     telemetry = Telemetry(events_max) if events_max is not None else None
     baselines, cell_metrics, inst = _sweep_workload(name, configs, fast,
-                                                    cache, telemetry)
+                                                    cache, telemetry,
+                                                    engine=engine)
     payload = telemetry.export_payload() if telemetry is not None else None
     return name, baselines, cell_metrics, inst, payload
 
@@ -449,7 +570,8 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
                     fast: bool = False,
                     cache: Optional[ArtifactCache] = None,
                     cache_dir: Optional[Path] = None,
-                    telemetry: Optional[Telemetry] = None) -> MatrixResult:
+                    telemetry: Optional[Telemetry] = None,
+                    engine: str = "auto") -> MatrixResult:
     """Evaluate the full workloads x configurations matrix.
 
     Per-configuration rows of the result are byte-identical (as JSON) to
@@ -459,12 +581,16 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
     reuse trace/baseline/metrics artifacts across processes.  Pass
     ``telemetry`` to collect the unified event stream and counters
     (:mod:`repro.obs`); results are identical with or without it, for
-    any ``jobs``.
+    any ``jobs``.  ``engine`` selects the replay implementation (see
+    :func:`_resolve_engine`); every engine produces identical results.
     """
     # deferred to dodge the repro.workloads.suite <-> repro.system cycle
     from repro.workloads.suite import SuiteResult, result_from_metrics
 
     start = time.perf_counter()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown replay engine {engine!r}; "
+                         f"expected one of {ENGINES}")
     if cache is None and cache_dir is not None:
         cache = ArtifactCache(cache_dir)
     configs = list(configs)
@@ -484,7 +610,8 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
             events_max = (telemetry.events.max_events
                           if telemetry.events is not None else 0)
         tasks = [(name, configs, fast,
-                  cache.root if cache is not None else None, events_max)
+                  cache.root if cache is not None else None, events_max,
+                  engine)
                  for name in names]
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
             for name, baselines, cells, row_inst, payload in pool.map(
@@ -496,7 +623,7 @@ def evaluate_matrix(configs: Sequence[SystemConfig],
     else:
         for name in names:
             baselines, cells, row_inst = _sweep_workload(
-                name, configs, fast, cache, telemetry)
+                name, configs, fast, cache, telemetry, engine=engine)
             rows[name] = (baselines, cells)
             inst.merge_counters(row_inst)
 

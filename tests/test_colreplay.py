@@ -1,0 +1,294 @@
+"""Differential tests for the columnar replay engine.
+
+The contract is the strongest one the sweep layer makes: for every
+workload and every system configuration, :func:`evaluate_trace_columnar`
+must return a :class:`SystemMetrics` *bit-identical* to the event-driven
+:func:`evaluate_trace` — same cycle counts, same DIM statistics, same
+energy inputs — and the engine-selection layer must fall back to the
+event engine (with identical results) whenever numpy is unavailable.
+
+The columnar tests skip cleanly on interpreters without numpy; the
+fallback tests run everywhere (``REPRO_NO_NUMPY=1`` disables numpy even
+when it is installed, so the pure-Python path is exercised either way).
+"""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.dim.memo import TranslationMemo
+from repro.dim.params import DimParams
+from repro.obs.schema import SWEEP_COUNTERS
+from repro.sim.coltrace import COLTRACE_FORMAT, ColumnarTrace
+from repro.system.colreplay import (
+    ColumnarContext,
+    baseline_metrics_columnar,
+    columnar_available,
+    evaluate_trace_columnar,
+    replay_trace_columnar,
+)
+from repro.system.config import PAPER_SHAPES, custom_system, paper_system
+from repro.system.sweep import (
+    ENGINES,
+    _resolve_engine,
+    evaluate_matrix,
+    replay_workload,
+)
+from repro.system.traceeval import baseline_metrics, evaluate_trace
+from repro.workloads import run_workload, workload_names
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:
+    HAVE_HYPOTHESIS = False
+
+HAVE_NUMPY = columnar_available()
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="columnar engine needs numpy")
+
+
+def grid_configs():
+    """A representative slice of the design space: every array class,
+    speculation on/off, slot counts small enough to force evictions,
+    both replacement policies, and the unbounded ideal cache."""
+    lru = DimParams(cache_slots=8, cache_policy="lru", speculation=True)
+    lru_nospec = dataclasses.replace(lru, speculation=False)
+    return [
+        paper_system("C1", 16, False),
+        paper_system("C1", 4, True),
+        paper_system("C3", 64, True),
+        paper_system("ideal", speculation=True),
+        custom_system(PAPER_SHAPES["C2"], lru),
+        custom_system(PAPER_SHAPES["C2"], lru_nospec),
+    ]
+
+
+def assert_same_metrics(columnar, event):
+    assert dataclasses.asdict(columnar) == dataclasses.asdict(event)
+
+
+# ----------------------------------------------------------------------
+# The core bit-identity bar: every workload x a representative grid.
+# ----------------------------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("name", workload_names())
+def test_columnar_matches_event_engine(name):
+    trace = run_workload(name, fast=True).trace
+    context = ColumnarContext(trace, name=name)
+    memo = TranslationMemo()
+    seen_timings = set()
+    for config in grid_configs():
+        event = evaluate_trace(trace, config, name=name, memo=memo)
+        columnar = evaluate_trace_columnar(trace, config, name=name,
+                                           context=context)
+        assert_same_metrics(columnar, event)
+        if config.timing not in seen_timings:
+            seen_timings.add(config.timing)
+            assert_same_metrics(
+                baseline_metrics_columnar(context, config.timing),
+                baseline_metrics(trace, config.timing))
+
+
+@needs_numpy
+def test_replay_workload_engines_identical():
+    trace = run_workload("crc", fast=True).trace
+    configs = grid_configs()
+    event = replay_workload(trace, configs, name="crc", engine="event")
+    columnar = replay_workload(trace, configs, name="crc",
+                               engine="columnar")
+    assert len(event) == len(columnar) == len(configs)
+    for col, ev in zip(columnar, event):
+        assert_same_metrics(col, ev)
+
+
+@needs_numpy
+def test_replay_trace_columnar_shares_one_context():
+    trace = run_workload("quicksort", fast=True).trace
+    configs = grid_configs()
+    batched = replay_trace_columnar(trace, configs, name="quicksort")
+    context = ColumnarContext(trace, name="quicksort")
+    for config, metrics in zip(configs, batched):
+        assert_same_metrics(
+            evaluate_trace_columnar(trace, config, name="quicksort",
+                                    context=context),
+            metrics)
+
+
+@needs_numpy
+def test_columnar_metrics_json_serialisable():
+    """Every metric must be a plain int/float — numpy scalars would
+    break the deterministic JSON reports."""
+    trace = run_workload("crc", fast=True).trace
+    metrics = evaluate_trace_columnar(trace, paper_system("C2", 64, True),
+                                      name="crc")
+    json.dumps(dataclasses.asdict(metrics))
+
+
+# ----------------------------------------------------------------------
+# The persisted columnar lowering.
+# ----------------------------------------------------------------------
+@needs_numpy
+def test_coltrace_payload_roundtrip():
+    trace = run_workload("crc", fast=True).trace
+    lowered = ColumnarTrace(trace)
+    lowered.timeline(512)
+    assert lowered.timelines_built == 1
+
+    payload = pickle.loads(pickle.dumps(lowered.to_payload()))
+    restored = ColumnarTrace.from_payload(trace, payload)
+    assert restored is not None
+    assert restored.timelines_built == 1
+
+    config = paper_system("C2", 16, True)
+    context = ColumnarContext(trace, name="crc", coltrace=restored)
+    assert_same_metrics(
+        evaluate_trace_columnar(trace, config, name="crc",
+                                context=context),
+        evaluate_trace(trace, config, name="crc"))
+
+
+@needs_numpy
+def test_coltrace_payload_stale_detection():
+    trace = run_workload("crc", fast=True).trace
+    good = ColumnarTrace(trace).to_payload()
+    assert ColumnarTrace.from_payload(trace, {"version": -1}) is None
+    assert ColumnarTrace.from_payload(trace, "not a dict") is None
+    truncated = dict(good)
+    truncated["event_ids"] = good["event_ids"][:-1]
+    assert ColumnarTrace.from_payload(trace, truncated) is None
+    assert ColumnarTrace.from_payload(trace, good) is not None
+    assert good["version"] == COLTRACE_FORMAT
+
+
+# ----------------------------------------------------------------------
+# Engine selection and the pure-Python fallback.
+# ----------------------------------------------------------------------
+def test_resolve_engine_rules():
+    assert ENGINES == ("auto", "event", "columnar")
+    with pytest.raises(ValueError):
+        _resolve_engine("vector")
+    assert _resolve_engine("event") == ("event", False)
+    # an observing sweep needs the event-level telemetry stream
+    assert _resolve_engine("auto", observing=True) == ("event", False)
+
+
+def test_evaluate_matrix_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        evaluate_matrix([paper_system("C1", 16, False)], names=["crc"],
+                        engine="vector")
+
+
+def test_engine_fallback_without_numpy(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert not columnar_available()
+    assert _resolve_engine("columnar") == ("event", True)
+    configs = [paper_system("C1", 16, False)]
+    auto = evaluate_matrix(configs, names=["crc"], fast=True)
+    forced = evaluate_matrix(configs, names=["crc"], fast=True,
+                             engine="columnar")
+    assert forced.results_json() == auto.results_json()
+    assert forced.instrumentation.columnar_fallback >= 1
+    assert forced.instrumentation.cells_columnar == 0
+    assert forced.instrumentation.counters()["sweep.columnar_fallback"] >= 1
+
+
+@needs_numpy
+def test_results_identical_with_and_without_numpy(monkeypatch):
+    configs = [paper_system("C1", 16, False),
+               paper_system("C3", 64, True)]
+    with_numpy = evaluate_matrix(configs, names=["crc"], fast=True)
+    assert with_numpy.instrumentation.cells_columnar == len(configs)
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    without_numpy = evaluate_matrix(configs, names=["crc"], fast=True)
+    assert without_numpy.instrumentation.cells_columnar == 0
+    assert with_numpy.results_json() == without_numpy.results_json()
+
+
+def test_columnar_counters_in_schema():
+    assert SWEEP_COUNTERS["sweep.cells_columnar"] == "cells_columnar"
+    assert SWEEP_COUNTERS["sweep.columnar_fallback"] == "columnar_fallback"
+
+
+# ----------------------------------------------------------------------
+# CLI engine flag.
+# ----------------------------------------------------------------------
+@needs_numpy
+def test_cli_engine_flag_byte_identical(tmp_path):
+    reports = {}
+    for engine in ("event", "columnar"):
+        out = tmp_path / f"{engine}.json"
+        code = main(["sweep", "--only", "crc", "--arrays", "C1",
+                     "--slots", "16", "--fast", "--no-cache",
+                     "--engine", engine, "--json", str(out)])
+        assert code == 0
+        reports[engine] = out.read_bytes()
+    assert reports["event"] == reports["columnar"]
+
+
+# ----------------------------------------------------------------------
+# Random-trace differential (hypothesis).
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    _MIX_OPS = ["+", "-", "^", "*", "&", "|"]
+
+    @st.composite
+    def _branchy_programs(draw):
+        """Small always-terminating programs whose branch outcomes are
+        data-dependent, so random traces exercise the predictor
+        timelines, speculation exits and cache churn."""
+        seed = draw(st.integers(1, 2**30))
+        iters = draw(st.integers(8, 48))
+        shift = draw(st.integers(1, 7))
+        threshold = draw(st.integers(0, 255))
+        op_a = draw(st.sampled_from(_MIX_OPS))
+        op_b = draw(st.sampled_from(_MIX_OPS))
+        mask = draw(st.sampled_from([63, 255, 1023]))
+        return f"""
+int main() {{
+    unsigned x = {seed};
+    unsigned acc = 0;
+    int i;
+    for (i = 0; i < {iters}; i++) {{
+        x = x * 1664525 + 1013904223;
+        if (((x >> {shift}) & 255) < {threshold}) {{
+            acc = acc {op_a} (x & {mask});
+        }} else {{
+            acc = acc {op_b} 3;
+        }}
+        if ((x & 7) == 0) {{
+            acc = acc + 1;
+        }}
+    }}
+    print_int(acc & 0x7fffffff);
+    return 0;
+}}
+"""
+
+    @needs_numpy
+    @settings(max_examples=10, deadline=None)
+    @given(_branchy_programs(),
+           st.sampled_from(["C1/4/spec", "C2/16/spec", "C3/64/nospec",
+                            "lru"]))
+    def test_random_trace_differential(source, which):
+        from repro.minic import compile_to_program
+        from repro.sim import run_program
+
+        if which == "lru":
+            config = custom_system(
+                PAPER_SHAPES["C2"],
+                DimParams(cache_slots=4, cache_policy="lru",
+                          speculation=True))
+        else:
+            array, slots, spec = which.split("/")
+            config = paper_system(array, int(slots), spec == "spec")
+        program = compile_to_program(source)
+        plain = run_program(program, collect_trace=True,
+                            max_instructions=2_000_000)
+        assert plain.exit_code == 0
+        assert_same_metrics(
+            evaluate_trace_columnar(plain.trace, config),
+            evaluate_trace(plain.trace, config))
