@@ -120,3 +120,57 @@ def test_service_burst_vs_cold_calls(capsys):
               f"{speedup:.2f}x (batch width "
               f"{stats.mean_batch_width:.0f})")
     assert speedup >= 3.0
+
+
+def test_keepalive_transport_delta(capsys):
+    """Connection reuse: N small requests over one pooled keep-alive
+    connection vs a fresh TCP connection per request.  Matters for the
+    fleet, whose coordinator/client/worker hops are all small requests
+    — the polling control plane must not pay a handshake per poll."""
+    requests = 400
+
+    def _stub_runner(spec):
+        return {"results": {job["id"]: {"stub": True}
+                            for job in spec["jobs"]},
+                "counters": {}}
+
+    service = EvalService(workers=0, batch_window=0.0,
+                          runner=_stub_runner).start()
+    server, _thread = start_http(service)
+    base_url = "http://%s:%s" % server.server_address[:2]
+    try:
+        # -- pooled: one persistent connection for all requests --------
+        pooled = ServeClient(base_url)
+        pooled.healthz()  # open the connection outside the timed loop
+        start = time.perf_counter()
+        for _ in range(requests):
+            pooled.healthz()
+        pooled_seconds = time.perf_counter() - start
+        assert pooled.transport_stats["connections_opened"] == 1
+
+        # -- cold: a fresh connection per request ----------------------
+        cold = ServeClient(base_url)
+        start = time.perf_counter()
+        for _ in range(requests):
+            cold.healthz()
+            cold.close()  # drop the pool: next call reconnects
+        cold_seconds = time.perf_counter() - start
+        assert cold.transport_stats["connections_opened"] == requests
+    finally:
+        service.stop(drain=False)
+        server.shutdown()
+
+    delta = cold_seconds / pooled_seconds
+    RESULTS["transport"] = {
+        "requests": requests,
+        "pooled_seconds": pooled_seconds,
+        "per_connection_seconds": cold_seconds,
+        "keepalive_speedup": delta,
+        "pooled_rps": requests / pooled_seconds,
+        "per_connection_rps": requests / cold_seconds,
+    }
+    with capsys.disabled():
+        print(f"\n{requests} requests: pooled {pooled_seconds:.3f}s "
+              f"({requests / pooled_seconds:.0f}/s) vs per-connection "
+              f"{cold_seconds:.3f}s -> {delta:.2f}x")
+    assert delta >= 1.1  # reuse must never be slower

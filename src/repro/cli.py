@@ -37,14 +37,29 @@ Usage (installed as ``python -m repro.cli``):
   evaluation batches to a running ``repro serve``; the frontier JSON
   is byte-identical across serial, ``--jobs N`` and dispatched runs.
 - ``serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
-  [--no-cache] [--capacity N]`` — run the persistent evaluation
-  service (:mod:`repro.serve`): an HTTP job queue whose scheduler
-  coalesces compatible jobs into one matrix replay on warm workers.
-- ``submit {run,evaluate,sweep} [target] [--url U] [--priority N]
-  [--timeout S] [--no-wait] [--json out.json]`` plus the shared system
-  options — submit one job to a running service and (by default) wait
-  for and print its result.
+  [--no-cache] [--capacity N] [--scoped-cache]`` — run the persistent
+  evaluation service (:mod:`repro.serve`): an HTTP job queue whose
+  scheduler coalesces compatible jobs into one matrix replay on warm
+  workers.  ``--scoped-cache`` puts each workload fingerprint's
+  artifacts in its own subdirectory, which is how fleet workers share
+  one ``REPRO_CACHE_DIR`` without contention.
+- ``fleet [--host H] [--port P] [--workers N] [--worker-url U ...]
+  [--max-inflight N] [--capacity N] [--cache-dir DIR] [--no-cache]``
+  — run the distributed evaluation fleet (:mod:`repro.fleet`): a
+  coordinator that shards jobs across worker servers by workload
+  fingerprint (consistent hashing), monitors worker health, re-
+  dispatches jobs from dead workers and sheds load beyond
+  ``--max-inflight``.  ``--workers N`` spawns N local worker processes
+  sharing one fingerprint-scoped artifact store; ``--worker-url``
+  registers already-running servers instead (or additionally).
+- ``submit {run,evaluate,sweep} [target] [--url U] [--fleet]
+  [--priority N] [--timeout S] [--no-wait] [--json out.json]`` plus
+  the shared system options — submit one job to a running service and
+  (by default) wait for and print its result.  ``--fleet`` targets a
+  coordinator (default port 8360) through the streaming fleet client.
 - ``jobs [--url U]`` — list every job the service knows, with states.
+- ``cache {stats,prune} [--cache-dir DIR] [--max-bytes N]`` — inspect
+  or LRU-prune the shared artifact store.
 - ``disasm <file.s|file.c|workload>`` — disassemble a target's text
   segment.
 
@@ -418,13 +433,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_forever(host=args.host, port=args.port,
                          workers=args.workers, cache_root=cache_root,
                          capacity=args.capacity,
-                         batch_window=args.batch_window)
+                         batch_window=args.batch_window,
+                         scoped_cache=args.scoped_cache)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.local import fleet_forever
+    from repro.system.artifacts import default_cache_dir
+
+    cache_root = None
+    if not args.no_cache:
+        cache_root = str(args.cache_dir if args.cache_dir
+                         else default_cache_dir())
+    return fleet_forever(host=args.host, port=args.port,
+                         workers=args.workers,
+                         worker_urls=args.worker_url,
+                         cache_root=cache_root,
+                         capacity=args.capacity,
+                         worker_jobs=args.worker_jobs,
+                         max_inflight=args.max_inflight,
+                         heartbeat_interval=args.heartbeat_interval,
+                         heartbeat_failures=args.heartbeat_failures)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.system.artifacts import ArtifactCache, default_cache_dir
+
+    root = args.cache_dir if args.cache_dir else default_cache_dir()
+    cache = ArtifactCache(root, max_bytes=args.max_bytes)
+    stats = cache.stats()
+    if args.action == "stats":
+        cap = stats["max_bytes"]
+        print(f"root    : {stats['root']}")
+        print(f"entries : {stats['entries']:,}")
+        print(f"size    : {stats['total_bytes']:,} bytes"
+              + (f" (cap {cap:,})" if cap else " (no cap)"))
+        if stats["scopes"]:
+            print(f"scopes  : {len(stats['scopes'])} "
+                  f"({', '.join(stats['scopes'][:8])}"
+                  f"{', ...' if len(stats['scopes']) > 8 else ''})")
+        if stats["entries"]:
+            print(f"ages    : newest {stats['newest_age_seconds']:.0f}s, "
+                  f"oldest {stats['oldest_age_seconds']:.0f}s")
+        return 0
+    try:
+        report = cache.prune(max_bytes=args.max_bytes,
+                             grace_seconds=args.grace)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(f"evicted {report['evicted']} entries "
+          f"({report['evicted_bytes']:,} bytes); "
+          f"{report['remaining_bytes']:,} bytes remain")
+    return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeError
 
-    client = ServeClient(args.url)
+    url = args.url
+    if args.fleet:
+        from repro.fleet.client import FleetClient
+
+        if url is None:
+            url = "http://127.0.0.1:8360"
+        client: ServeClient = FleetClient(url)
+    else:
+        client = ServeClient(url or "http://127.0.0.1:8350")
     configs = [{"array": _array_of(config),
                 "slots": config.dim.cache_slots,
                 "speculation": config.dim.speculation}
@@ -654,7 +728,59 @@ def build_parser() -> argparse.ArgumentParser:
                               "or ~/.cache/repro)")
     serve_p.add_argument("--no-cache", action="store_true",
                          help="disable the persistent artifact cache")
+    serve_p.add_argument("--scoped-cache", action="store_true",
+                         help="store artifacts under per-fingerprint "
+                              "subdirectories (fleet workers sharing "
+                              "one cache dir)")
     serve_p.set_defaults(func=_cmd_serve)
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="run the distributed evaluation fleet coordinator")
+    fleet_p.add_argument("--host", default="127.0.0.1")
+    fleet_p.add_argument("--port", type=int, default=8360)
+    fleet_p.add_argument("--workers", type=int, default=2,
+                         help="local worker processes to spawn (0 = "
+                              "only --worker-url servers)")
+    fleet_p.add_argument("--worker-url", action="append", default=None,
+                         help="register an already-running repro serve "
+                              "(repeatable)")
+    fleet_p.add_argument("--max-inflight", type=int, default=1024,
+                         help="fleet-wide unfinished-job cap; beyond "
+                              "it submissions are shed with "
+                              "fleet_saturated")
+    fleet_p.add_argument("--capacity", type=int, default=1024,
+                         help="per-worker bounded queue size")
+    fleet_p.add_argument("--worker-jobs", type=int, default=0,
+                         help="warm process-pool workers inside each "
+                              "spawned worker")
+    fleet_p.add_argument("--heartbeat-interval", type=float,
+                         default=0.25,
+                         help="seconds between worker health polls")
+    fleet_p.add_argument("--heartbeat-failures", type=int, default=3,
+                         help="consecutive failed polls before a "
+                              "worker is declared dead")
+    fleet_p.add_argument("--cache-dir", default=None,
+                         help="shared artifact store for all spawned "
+                              "workers (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro)")
+    fleet_p.add_argument("--no-cache", action="store_true",
+                         help="disable the shared artifact store")
+    fleet_p.set_defaults(func=_cmd_fleet)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or prune the shared artifact store")
+    cache_p.add_argument("action", choices=("stats", "prune"))
+    cache_p.add_argument("--cache-dir", default=None,
+                         help="artifact-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_p.add_argument("--max-bytes", type=int, default=None,
+                         help="size cap for prune (default: "
+                              "$REPRO_CACHE_MAX_BYTES)")
+    cache_p.add_argument("--grace", type=float, default=60.0,
+                         help="never evict entries read within this "
+                              "many seconds")
+    cache_p.set_defaults(func=_cmd_cache)
 
     submit_p = sub.add_parser(
         "submit", help="submit a job to a running service",
@@ -663,7 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("kind", choices=("run", "evaluate", "sweep"))
     submit_p.add_argument("target", nargs="?", default=None,
                           help="run jobs: workload name or source path")
-    submit_p.add_argument("--url", default="http://127.0.0.1:8350")
+    submit_p.add_argument("--url", default=None,
+                          help="service URL (default: "
+                               "http://127.0.0.1:8350, or :8360 with "
+                               "--fleet)")
+    submit_p.add_argument("--fleet", action="store_true",
+                          help="target a fleet coordinator through the "
+                               "streaming fleet client")
     submit_p.add_argument("--priority", type=int, default=0,
                           help="higher runs first (FIFO within a "
                                "priority)")

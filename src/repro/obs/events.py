@@ -56,6 +56,13 @@ EVENT_TYPES = frozenset({
     "dse.batch_evaluated",      # a candidate batch was scored
     "dse.rung_promoted",        # shalving promoted survivors to full
     "dse.frontier_computed",    # an exploration finished its frontier
+    # evaluation fleet (repro.fleet)
+    "fleet.worker_registered",  # a worker shard joined the hash ring
+    "fleet.worker_lost",        # heartbeats failed; shard marked dead
+    "fleet.job_dispatched",     # a job was forwarded to its shard
+    "fleet.job_redispatched",   # a dead shard's job moved to a survivor
+    "fleet.job_shed",           # the in-flight cap rejected a submission
+    "fleet.job_finished",       # a job's result (or error) was cached
 })
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))

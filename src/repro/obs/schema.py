@@ -19,6 +19,7 @@ Namespaces:
 - ``sweep.*``      matrix sweep engine phases and cache outcomes
 - ``serve.*``      evaluation-service queue, batching and latency
 - ``dse.*``        design-space exploration budget and frontier
+- ``fleet.*``      coordinator sharding, failover and load shedding
 """
 
 from __future__ import annotations
@@ -130,6 +131,26 @@ DSE_TIMERS = {
     "dse.evaluate_seconds": "evaluate_seconds",
 }
 
+#: carrier: :class:`repro.fleet.coordinator.FleetStats`.
+FLEET_COUNTERS = {
+    "fleet.jobs_submitted": "jobs_submitted",
+    "fleet.jobs_completed": "jobs_completed",
+    "fleet.jobs_failed": "jobs_failed",
+    "fleet.jobs_shed": "jobs_shed",
+    "fleet.forwards": "forwards",
+    "fleet.forward_failures": "forward_failures",
+    "fleet.redispatch": "redispatches",
+    "fleet.workers_registered": "workers_registered",
+    "fleet.workers_lost": "workers_lost",
+    "fleet.poll_cycles": "poll_cycles",
+    "fleet.max_inflight": "max_inflight_seen",
+}
+
+FLEET_TIMERS = {
+    "fleet.forward_seconds": "forward_seconds",
+    "fleet.poll_seconds": "poll_seconds",
+}
+
 
 def _collect(obj, mapping: Dict[str, str]) -> Dict[str, int]:
     return {name: getattr(obj, attr) for name, attr in mapping.items()}
@@ -186,3 +207,13 @@ def dse_counters(stats) -> Dict[str, int]:
 def dse_timers(stats) -> Dict[str, float]:
     """Canonical timer values of a ``DseStats``."""
     return _collect(stats, DSE_TIMERS)
+
+
+def fleet_counters(stats) -> Dict[str, int]:
+    """Canonical counters of a ``FleetStats``."""
+    return _collect(stats, FLEET_COUNTERS)
+
+
+def fleet_timers(stats) -> Dict[str, float]:
+    """Canonical timer values of a ``FleetStats``."""
+    return _collect(stats, FLEET_TIMERS)

@@ -88,6 +88,11 @@ ERROR_CODES = frozenset({
     "job_timeout",       # result requested for a deadline-expired job
     "shutting_down",     # submission during drain
     "not_found",         # unroutable path
+    # fleet coordinator (repro.fleet) additions; same closed vocabulary
+    # so ServeClient error dispatch works unchanged against a fleet.
+    "fleet_saturated",   # load shed: the fleet's in-flight cap is hit
+    "no_workers",        # no live worker shard can take the job
+    "unknown_worker",    # heartbeat/deregister for an unknown worker id
 })
 
 

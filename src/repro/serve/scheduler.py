@@ -12,9 +12,17 @@ fifty suites; that is the whole point of the service.
 
 Execution happens on *warm workers*:
 
-- ``workers == 0`` — the batch runs on the loop's default thread
+- ``workers == 0`` — the batch runs on a dedicated *single-thread*
   executor, inside the server process, sharing its in-memory trace
-  caches.  This is the mode tests and single-tenant use want.
+  caches.  This is the mode tests and single-tenant use want.  One
+  thread is load-bearing for correctness, not a tuning choice: the
+  replay engine's per-workload caches (shared columnar contexts,
+  translation timelines) are lock-free mutable state, and two batches
+  of one workload walking the same cold translation timeline
+  concurrently race on its probe bookkeeping and return subtly wrong
+  metrics — third-decimal geomean drift, identical across every cell
+  of the batch.  The byte-identity differential tests catch exactly
+  this.
 - ``workers >= 1`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
   created once at service start.  Workers live across batches, so their
   ``repro.workloads`` trace caches stay warm, and every worker pins the
@@ -33,7 +41,8 @@ from __future__ import annotations
 
 import asyncio
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (BrokenExecutor, Executor,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -77,7 +86,9 @@ def run_batch(spec: BatchSpec) -> Dict[str, object]:
     from repro.system.sweep import evaluate_matrix, matrix_slice
 
     cache_root = spec.get("cache_root")
-    cache = ArtifactCache(Path(cache_root)) if cache_root else None
+    cache = (ArtifactCache(Path(cache_root),
+                           scope=spec.get("cache_scope"))
+             if cache_root else None)
     fast = bool(spec["fast"])
     results: Dict[str, object] = {}
     counters: Dict[str, int] = {}
@@ -141,6 +152,7 @@ class BatchScheduler:
                  workers: int = 0,
                  cache_root: Optional[Path] = None,
                  batch_window: float = 0.02,
+                 scoped_cache: bool = False,
                  runner: Callable[[BatchSpec], Dict[str, object]]
                  = run_batch):
         self.manager = manager
@@ -148,9 +160,13 @@ class BatchScheduler:
         self.workers = workers
         self.cache_root = (str(cache_root) if cache_root is not None
                            else None)
+        #: fleet mode: scope artifact writes per workload fingerprint
+        #: so shards sharing one REPRO_CACHE_DIR never contend on the
+        #: same directories.
+        self.scoped_cache = scoped_cache
         self.batch_window = batch_window
         self.runner = runner
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool: Optional[Executor] = None
         self._task: Optional[asyncio.Task] = None
         self._inflight: set = set()
 
@@ -162,15 +178,21 @@ class BatchScheduler:
     # Lifecycle.
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self.workers > 0:
-            self._pool = self._make_pool()
+        self._pool = self._make_pool()
         self._task = asyncio.get_running_loop().create_task(
             self._claim_loop())
 
-    def _make_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=self.workers, initializer=_init_worker,
-            initargs=(self.cache_root,))
+    def _make_pool(self) -> Executor:
+        if self.workers > 0:
+            return ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_init_worker,
+                initargs=(self.cache_root,))
+        # in-process mode MUST be a single thread: concurrent batches
+        # would race on the replay engine's shared per-workload caches
+        # (see the module docstring).  Never hand batches to the
+        # loop's default multi-thread executor.
+        return ThreadPoolExecutor(max_workers=1,
+                                  thread_name_prefix="repro-batch")
 
     async def stop(self) -> None:
         if self._task is not None:
@@ -210,6 +232,8 @@ class BatchScheduler:
             "mode": "run" if lead.kind == "run" else "matrix",
             "fast": lead.fast,
             "cache_root": self.cache_root,
+            "cache_scope": (lead.fingerprint if self.scoped_cache
+                            and self.cache_root else None),
             "jobs": [{"id": job.id, "kind": job.request.kind,
                       "configs": list(job.request.configs)}
                      for job in batch],
@@ -234,7 +258,12 @@ class BatchScheduler:
         try:
             payload = await loop.run_in_executor(
                 self._pool, self.runner, spec)
-        except asyncio.CancelledError:
+        except (asyncio.CancelledError, GeneratorExit):
+            # cancellation, or the loop died under us (crash-stop
+            # kill() closes it with this dispatch still pending and
+            # GeneratorExit arrives at collection time): the batch is
+            # orphaned — do NOT run retry bookkeeping, there is no
+            # loop left to run it on.
             raise
         except BaseException as exc:  # worker crash or poisoned batch
             self.stats.exec_seconds += loop.time() - start

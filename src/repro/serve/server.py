@@ -46,6 +46,7 @@ class EvalService:
                  capacity: int = 256, max_retries: int = 2,
                  backoff_base: float = 0.05,
                  batch_window: float = 0.02,
+                 scoped_cache: bool = False,
                  telemetry: Optional[Telemetry] = None,
                  runner=run_batch):
         self.telemetry = (telemetry if telemetry is not None
@@ -58,7 +59,7 @@ class EvalService:
         self.scheduler = BatchScheduler(
             self.manager, self.telemetry, workers=workers,
             cache_root=cache_root, batch_window=batch_window,
-            runner=runner)
+            scoped_cache=scoped_cache, runner=runner)
         self.cache_root = cache_root
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -107,6 +108,27 @@ class EvalService:
         self._stopped = True
         return summary
 
+    def kill(self) -> None:
+        """Crash-stop the service: drop the request bridge and stop the
+        loop WITHOUT draining or waiting for in-flight batches.
+
+        This models a worker dying mid-batch (the SIGKILL analogue of
+        :meth:`stop`): every request from the moment of the call fails —
+        including ones arriving over already-established keep-alive
+        connections, which a bare ``HTTPServer.shutdown()`` keeps
+        serving — so a fleet coordinator's heartbeat sees the worker go
+        dark immediately instead of after in-flight work unwinds.  Any
+        batch still running on the executor is orphaned: its result is
+        never recorded and never observable.  Used by failover tests.
+        """
+        if self._stopped or self._loop is None:
+            return
+        loop, self._loop = self._loop, None
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._stopped = True
+
     async def _shutdown(self, drain: bool) -> Dict[str, object]:
         self.manager.stop_accepting()
         if drain:
@@ -121,7 +143,9 @@ class EvalService:
     # The thread-safe bridge.
     # ------------------------------------------------------------------
     def _call(self, coro, timeout: float = _BRIDGE_TIMEOUT):
-        assert self._loop is not None, "service not started"
+        if self._loop is None:
+            coro.close()  # never scheduled; avoid the unawaited warning
+            raise RuntimeError("service not started")
         future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         return future.result(timeout)
 
@@ -268,6 +292,9 @@ class ServeHTTPServer(ThreadingHTTPServer):
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
+    # replies are one buffered write; Nagle would otherwise delay
+    # them behind the client's delayed ACK on keep-alive sockets.
+    disable_nagle_algorithm = True
     server: ServeHTTPServer
 
     # quiet: the service has telemetry, stderr chatter is noise.
@@ -321,7 +348,12 @@ class _Handler(BaseHTTPRequestHandler):
             elif head == "events":
                 self._reply_text(service.events_jsonl())
             elif head == "jobs" and arg is None:
-                self._reply({"jobs": service.jobs(),
+                query = (self.path.split("?") + [""])[1]
+                jobs = service.jobs()
+                if "active=1" in query:
+                    jobs = [job for job in jobs
+                            if job["state"] not in JobState.TERMINAL]
+                self._reply({"jobs": jobs,
                              "protocol": PROTOCOL_VERSION})
             elif head == "status" and arg:
                 self._reply(service.status(arg))

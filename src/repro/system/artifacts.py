@@ -24,18 +24,39 @@ Writes are atomic (temp file + ``os.replace``) so concurrent sweep
 workers can share one cache directory; unreadable or truncated entries
 are treated as misses and removed.  The default location is
 ``$REPRO_CACHE_DIR``, falling back to ``~/.cache/repro/artifacts``.
+
+Two multi-process amenities sit on top of the plain store:
+
+- **Scopes** — a cache opened with ``scope="<fingerprint>"`` places its
+  entries under ``<root>/<scope>/`` instead of directly under the root.
+  Keys are unchanged (they are content hashes either way); only the
+  directory layout moves.  The evaluation fleet (:mod:`repro.fleet`)
+  opens one scope per workload fingerprint so concurrent worker shards
+  populating one ``REPRO_CACHE_DIR`` never contend on the same
+  directories.
+- **A size cap** — ``REPRO_CACHE_MAX_BYTES`` (or the ``max_bytes``
+  argument) bounds the whole tree.  :meth:`ArtifactCache.prune` evicts
+  least-recently-*read* entries first (``load`` refreshes an entry's
+  atime explicitly, so LRU works even on ``noatime`` mounts), never
+  touches entries pinned by an active reader, and leaves entries
+  younger than a grace window alone so a reader in another process that
+  just opened a file cannot have it deleted mid-read.  ``store`` checks
+  the cap periodically, and ``repro cache {stats,prune}`` exposes both
+  operations for ops use.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 import tempfile
 import threading
+import time
 from array import array
 from pathlib import Path
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.trace import BlockTable, Trace, TraceEvent
 
@@ -85,17 +106,45 @@ def _decode_trace(payload: dict) -> Trace:
     return trace
 
 
+#: how many stores between automatic size-cap checks.
+_PRUNE_EVERY = 32
+
+#: entries younger than this many seconds are never auto-evicted, so a
+#: reader in another process that just opened a file keeps it.
+_PRUNE_GRACE_SECONDS = 60.0
+
+
+def _env_max_bytes() -> Optional[int]:
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 class ArtifactCache:
     """Content-addressed pickle store with hit/miss accounting."""
 
-    def __init__(self, root: Optional[Path] = None):
+    def __init__(self, root: Optional[Path] = None,
+                 scope: Optional[str] = None,
+                 max_bytes: Optional[int] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.scope = scope
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else _env_max_bytes())
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
         # one cache object may be shared by threaded warm workers
         # (repro.serve); the lock keeps the counters exact under that.
         self._lock = threading.Lock()
+        #: keys currently held open by a reader; prune never evicts them.
+        self._pinned: Dict[str, int] = {}
+        self._stores_since_prune = 0
 
     # ------------------------------------------------------------------
     # Keys.
@@ -112,7 +161,26 @@ class ArtifactCache:
         return digest.hexdigest()
 
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
+        base = self.root / self.scope if self.scope else self.root
+        return base / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Reader pinning.
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def pin(self, key: str):
+        """Hold ``key`` safe from :meth:`prune` while the block runs."""
+        with self._lock:
+            self._pinned[key] = self._pinned.get(key, 0) + 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                remaining = self._pinned.get(key, 1) - 1
+                if remaining <= 0:
+                    self._pinned.pop(key, None)
+                else:
+                    self._pinned[key] = remaining
 
     # ------------------------------------------------------------------
     # Generic object storage.
@@ -128,9 +196,15 @@ class ArtifactCache:
         """
         path = self._path(key)
         try:
-            with open(path, "rb") as handle:
+            with self.pin(key), open(path, "rb") as handle:
                 record = pickle.load(handle)
             if record.get("key") == key:
+                # refresh the access time explicitly: LRU pruning
+                # must work even on noatime/relatime mounts.
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
                 with self._lock:
                     self.hits += 1
                 return record["payload"]
@@ -178,6 +252,89 @@ class ArtifactCache:
                     pass
         with self._lock:
             self.stores += 1
+            self._stores_since_prune += 1
+            due = (self.max_bytes is not None
+                   and self._stores_since_prune >= _PRUNE_EVERY)
+            if due:
+                self._stores_since_prune = 0
+        if due:
+            self.prune()
+
+    # ------------------------------------------------------------------
+    # Size accounting and LRU pruning.
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Every published entry as ``(atime, size, path)``; scans the
+        whole root so scoped caches account the shared tree."""
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.root.rglob("*.pkl"):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries.append((max(info.st_atime, info.st_mtime),
+                            info.st_size, path))
+        return entries
+
+    def stats(self) -> Dict[str, object]:
+        """Size and age summary of the whole cache tree (ops view)."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        now = time.time()
+        ages = [now - atime for atime, _, _ in entries]
+        scopes = sorted({path.parent.parent.name
+                         for _, _, path in entries
+                         if path.parent.parent != self.root})
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": total,
+            "max_bytes": self.max_bytes,
+            "scopes": scopes,
+            "oldest_age_seconds": max(ages) if ages else 0.0,
+            "newest_age_seconds": min(ages) if ages else 0.0,
+        }
+
+    def prune(self, max_bytes: Optional[int] = None,
+              grace_seconds: float = _PRUNE_GRACE_SECONDS
+              ) -> Dict[str, int]:
+        """Evict least-recently-read entries until the tree fits.
+
+        Never evicts a key pinned by an active reader of *this*
+        process, and never evicts entries accessed within
+        ``grace_seconds`` — a reader in another process refreshes the
+        atime the moment it opens an entry, so recently-opened files
+        survive.  Returns an eviction report.
+        """
+        cap = max_bytes if max_bytes is not None else self.max_bytes
+        if cap is None:
+            raise ValueError("no size cap: pass max_bytes or set "
+                             "REPRO_CACHE_MAX_BYTES")
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = evicted_bytes = 0
+        if total > cap:
+            with self._lock:
+                pinned = set(self._pinned)
+            cutoff = time.time() - grace_seconds
+            for atime, size, path in sorted(entries):
+                if total <= cap:
+                    break
+                if path.stem in pinned or atime > cutoff:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+                evicted_bytes += size
+        with self._lock:
+            self.evictions += evicted
+        return {"evicted": evicted, "evicted_bytes": evicted_bytes,
+                "remaining_bytes": total}
 
     # ------------------------------------------------------------------
     # Trace-specific wrappers (columnar encoding).

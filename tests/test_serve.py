@@ -367,6 +367,45 @@ def test_submissions_rejected_while_draining():
         svc.stop(drain=False)
 
 
+def test_inprocess_batches_never_run_concurrently():
+    """workers=0 must execute batches strictly serially: the replay
+    engine's shared per-workload caches are not thread-safe, and two
+    overlapping batches of one workload corrupt each other's
+    translation state (byte-identity violation)."""
+    import threading
+
+    lock = threading.Lock()
+    running = 0
+    max_running = 0
+
+    def tracking(spec):
+        nonlocal running, max_running
+        with lock:
+            running += 1
+            max_running = max(max_running, running)
+        time.sleep(0.02)  # hold the slot so overlap would be visible
+        with lock:
+            running -= 1
+        return _stub_runner(spec)
+
+    svc = EvalService(workers=0, batch_window=0.0,
+                      runner=tracking).start()
+    try:
+        svc.pause()
+        # distinct fingerprints -> distinct batches, claimed back to
+        # back; a multi-thread executor would overlap their runners.
+        jobs = [svc.submit({"kind": "evaluate", "names": [name],
+                            "configs": [CRC_C1]})
+                for name in ("crc", "sha", "bitcount", "quicksort")]
+        svc.resume()
+        for job in jobs:
+            svc.result(job["job_id"], wait=True, timeout=30)
+    finally:
+        svc.stop(drain=False)
+    assert svc.stats.batches == 4
+    assert max_running == 1
+
+
 def test_cancel_running_job_discards_result():
     import threading
 
@@ -393,3 +432,52 @@ def test_cancel_running_job_discards_result():
         assert svc.stats.jobs_cancelled == 1
     finally:
         svc.stop(drain=False)
+
+
+# ----------------------------------------------------------------------
+# Transport: the client keeps its HTTP connection alive across calls.
+# ----------------------------------------------------------------------
+def test_client_reuses_one_connection_across_requests():
+    svc = EvalService(workers=0, batch_window=0.0,
+                      runner=_stub_runner).start()
+    server, _ = start_http(svc)
+    try:
+        client = ServeClient("http://%s:%s" % server.server_address[:2])
+        job_ids = []
+        for _ in range(5):
+            job = client.submit("evaluate", configs=[CRC_C1],
+                                names=["crc"], fast=True)
+            job_ids.append(job["job_id"])
+        for job_id in job_ids:
+            client.wait(job_id, timeout=30)
+        stats = client.transport_stats
+        # submit + at least one poll + result per job: many requests...
+        assert stats["requests"] >= 15
+        # ...over a single persistent connection.
+        assert stats["connections_opened"] == 1
+        assert stats["stale_retries"] == 0
+    finally:
+        svc.stop(drain=False)
+        server.shutdown()
+
+
+def test_client_survives_a_stale_pooled_connection():
+    """A pooled socket that dies while idle (server timed it out or
+    restarted between calls) is retried transparently once, on a fresh
+    connection — the caller never sees the drop."""
+    svc = EvalService(workers=0, batch_window=0.0,
+                      runner=_stub_runner).start()
+    server, _ = start_http(svc)
+    try:
+        client = ServeClient("http://%s:%s" % server.server_address[:2])
+        assert client.healthz()["ok"]  # connection now idles in pool
+        conn = client._pool.acquire()
+        assert conn.sock is not None  # the same live connection
+        conn.sock.close()  # ...which the server side just dropped
+        client._pool.release(conn)
+        assert client.healthz()["ok"]  # transparent retry
+        assert client.transport_stats["stale_retries"] == 1
+        assert client.transport_stats["connections_opened"] == 2
+    finally:
+        svc.stop(drain=False)
+        server.shutdown()
