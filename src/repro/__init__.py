@@ -9,18 +9,25 @@ across basic blocks with a bimodal predictor.
 
 Stable API (the :mod:`repro.api` facade)
 ----------------------------------------
-- :func:`repro.build_config` — construct a Table 1 system configuration.
+- :class:`repro.SystemSpec` — the one canonical, JSON-round-trippable
+  system description every entry point builds configurations from
+  (``repro.build_config`` remains as a deprecated shim).
 - :func:`repro.run` — run one target plain and accelerated, bit-exact.
 - :func:`repro.evaluate` — the Table 2 suite against one system.
 - :func:`repro.sweep` — a workloads x configurations matrix through the
   trace-once / replay-many sweep engine.
 - :func:`repro.connect` — a client for a running ``repro serve``
-  evaluation service (:mod:`repro.serve`), which executes the same
-  verbs as queued jobs with batch coalescing and warm caches.
+  evaluation service (:mod:`repro.serve`) or ``repro fleet``
+  coordinator (:mod:`repro.fleet` — same ``/v1`` protocol), which
+  executes the same verbs as queued jobs with batch coalescing and
+  warm caches.
 - :func:`repro.explore` — multi-objective design-space exploration
   (:mod:`repro.dse`): seeded, budget-bounded strategies over the joint
   (shape, cache, speculation, policy) space returning a Pareto
   frontier.
+- :func:`repro.mpsoc` — heterogeneous MPSoC scenario exploration
+  (:mod:`repro.mpsoc`): core-count x array-shape allocations under
+  Sys-S/M/L area budgets, ranked against weighted traffic mixes.
 - :class:`repro.Telemetry` / :data:`repro.NULL_TELEMETRY` — the unified
   observability sink accepted by all of the above (:mod:`repro.obs`).
 
@@ -31,12 +38,14 @@ facade above is the supported surface.
 
 from repro.api import (
     RunComparison,
+    SystemSpec,
     Target,
     build_config,
     connect,
     evaluate,
     explore,
     load_target,
+    mpsoc,
     run,
     sweep,
 )
@@ -47,17 +56,19 @@ from repro.obs import (
     TelemetrySnapshot,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "RunComparison",
+    "SystemSpec",
     "Target",
     "build_config",
     "connect",
     "evaluate",
     "explore",
     "load_target",
+    "mpsoc",
     "run",
     "sweep",
     "NULL_TELEMETRY",

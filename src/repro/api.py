@@ -1,25 +1,39 @@
 """The stable public API facade.
 
-Four verbs cover the package's evaluation surface, re-exported from
+Seven verbs cover the package's evaluation surface, re-exported from
 ``repro`` itself; internal modules remain importable but are no longer
 the advertised entry points:
 
-- :func:`build_config` — the single way a system configuration is
-  constructed (the CLI routes every subcommand through it).
+- :class:`SystemSpec` — the one canonical, JSON-round-trippable system
+  description (:mod:`repro.system.config`); every entry point (CLI
+  subcommands, serve protocol, DSE runners, MPSoC allocator) builds
+  configurations from it.
 - :func:`run` — one target, plain vs accelerated, bit-exact.
 - :func:`evaluate` — the Table 2 suite (or a subset) on one system.
 - :func:`sweep` — the full workloads x configurations matrix through
   the trace-once / replay-many engine.
-- :func:`connect` — a client for a running ``repro serve`` service,
-  which executes the same three verbs as queued jobs with batch
-  coalescing and warm caches (:mod:`repro.serve`); results are
-  byte-identical to the offline calls above.
+- :func:`connect` — a client for a running ``repro serve`` service or
+  ``repro fleet`` coordinator (both speak the same ``/v1`` protocol),
+  which executes the same verbs as queued jobs with batch coalescing
+  and warm caches (:mod:`repro.serve`, :mod:`repro.fleet`); results
+  are byte-identical to the offline calls above.
+- :func:`explore` — multi-objective design-space exploration
+  (:mod:`repro.dse`): seeded, budget-bounded strategies over the joint
+  (shape, cache, speculation, policy) space, returning a Pareto
+  frontier with exact hypervolume.
+- :func:`mpsoc` — heterogeneous MPSoC scenario exploration
+  (:mod:`repro.mpsoc`): rank core-count x array-shape allocations
+  under an area budget against a weighted traffic mix.
 
-All four accept an optional :class:`repro.obs.Telemetry` sink where
+:func:`build_config` remains as a deprecated shim over
+``SystemSpec(array=...).build()``.
+
+All verbs accept an optional :class:`repro.obs.Telemetry` sink where
 observation makes sense; telemetry never changes any returned number.
 
 >>> import repro
->>> config = repro.build_config("C3", slots=64, speculation=True)
+>>> config = repro.SystemSpec(array="C3", slots=64,
+...                           speculation=True).build()
 >>> result = repro.run("crc", config=config)
 >>> round(result.speedup, 1) > 1.0
 True
@@ -37,7 +51,7 @@ from repro.minic import compile_to_program
 from repro.obs import Telemetry
 from repro.sim.cpu import RunResult, run_program
 from repro.system.artifacts import ArtifactCache
-from repro.system.config import SystemConfig, paper_system
+from repro.system.config import SystemConfig, SystemSpec
 from repro.system.coupled import CoupledRunResult, run_coupled
 from repro.system.energy import EnergyParams, energy_ratio
 from repro.system.sweep import MatrixResult, evaluate_matrix, paper_matrix
@@ -57,11 +71,16 @@ def build_config(array: str = "C3", slots: int = 64,
                  speculation: bool = False) -> SystemConfig:
     """Build a system configuration from Table 1's array names.
 
-    The one configuration constructor every entry point (CLI
-    subcommands included) routes through.  Raises :class:`ValueError`
-    naming the valid arrays on an unknown ``array``.
+    .. deprecated:: 1.2
+        A thin back-compat shim over the canonical
+        :class:`repro.system.config.SystemSpec`; new code should write
+        ``SystemSpec(array=array, slots=slots,
+        speculation=speculation).build()``, which also covers arbitrary
+        geometries (the shape form).  Raises :class:`ValueError` naming
+        the valid arrays on an unknown ``array``.
     """
-    return paper_system(array, slots, speculation)
+    return SystemSpec(array=array, slots=slots,
+                      speculation=speculation).build()
 
 
 def load_target(target: Target) -> Program:
@@ -114,7 +133,8 @@ def run(target: Target, config: Optional[SystemConfig] = None,
     baseline/accelerated metrics used for energy accounting.
     """
     program = load_target(target)
-    config = config if config is not None else build_config()
+    config = config if config is not None \
+        else SystemSpec(array="C3").build()
     plain = run_program(program, collect_trace=True, fast=fast,
                         telemetry=telemetry)
     accelerated = run_coupled(program, config, fast=fast)
@@ -132,8 +152,8 @@ def evaluate(config: Optional[SystemConfig] = None,
              jobs: int = 1, fast: bool = False,
              energy_params: EnergyParams = EnergyParams()) -> SuiteResult:
     """Evaluate the whole suite (or ``names``) against one system."""
-    config = config if config is not None else build_config("C2", 64,
-                                                            True)
+    config = config if config is not None else SystemSpec(
+        array="C2", slots=64, speculation=True).build()
     return evaluate_suite(config, names=names, jobs=jobs, fast=fast,
                           energy_params=energy_params)
 
@@ -163,9 +183,12 @@ def sweep(configs: Optional[Sequence[SystemConfig]] = None,
 def connect(url: str = "http://127.0.0.1:8350", timeout: float = 60.0):
     """A :class:`repro.serve.ServeClient` for a running service.
 
-    Verifies the protocol version against the server's ``healthz``
-    before returning.  Deferred import so the offline API keeps zero
-    service dependencies.
+    Works unchanged against a ``repro fleet`` coordinator — the fleet
+    speaks the same ``/v1`` protocol (for high-throughput streaming
+    against a fleet, :class:`repro.fleet.FleetClient` adds bounded
+    in-flight windows).  Verifies the protocol version against the
+    server's ``healthz`` before returning.  Deferred import so the
+    offline API keeps zero service dependencies.
     """
     from repro.serve.client import connect as serve_connect
 
@@ -198,13 +221,33 @@ def explore(space=None, strategy: str = "grid",
                        telemetry=telemetry, **kwargs)
 
 
+def mpsoc(spec=None, **kwargs):
+    """Explore heterogeneous MPSoC allocations (:mod:`repro.mpsoc`).
+
+    Rank core-count x array-shape mixes under an area budget (Sys-S/M/L
+    presets or explicit gates) against a weighted traffic mix, through
+    the same four DSE strategies and Pareto frontier as
+    :func:`explore`; returns a
+    :class:`~repro.mpsoc.MpsocExploration`.  Deferred import so the
+    core API carries no scenario-layer dependencies; see
+    :func:`repro.mpsoc.explore_mix` for the full parameter set
+    (``client`` dispatches evaluation to a running ``repro serve`` or
+    ``repro fleet`` instance).
+    """
+    from repro.mpsoc import explore_mix
+
+    return explore_mix(spec, **kwargs)
+
+
 __all__ = [
     "Target",
     "RunComparison",
+    "SystemSpec",
     "build_config",
     "connect",
     "explore",
     "load_target",
+    "mpsoc",
     "run",
     "evaluate",
     "sweep",

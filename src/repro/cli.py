@@ -36,6 +36,20 @@ Usage (installed as ``python -m repro.cli``):
   strategy and print/export the Pareto frontier.  ``--url`` dispatches
   evaluation batches to a running ``repro serve``; the frontier JSON
   is byte-identical across serial, ``--jobs N`` and dispatched runs.
+- ``mpsoc [--preset sys-s|sys-m|sys-l | --area-budget GATES]
+  [--mix name:w,...] [--cores 1,2,4] [--max-arrays N]
+  [--serial-fraction F] [--strategy S] [--budget N] [--seed N]
+  [--objectives ...] [--frontier out.json] [--jobs N] [--fast]
+  [--url U] [--telemetry t.jsonl] [--cache-dir DIR] [--no-cache]``
+  — explore heterogeneous MPSoC allocations (:mod:`repro.mpsoc`):
+  split an area budget across plain MIPS cores and catalog arrays
+  (the shared ``--array/--slots/--spec`` options pick the catalog,
+  default C1,C2,C3 at 64 slots with speculation), dispatch each
+  workload of the weighted traffic mix to its best-fitting tile, and
+  print/export the Pareto frontier over mix-level speedup/area/energy.
+  A budget below the cheapest allocation exits with a structured
+  machine-readable error; the frontier JSON is byte-identical inline,
+  with ``--jobs`` and when ``--url`` dispatches the catalog matrix.
 - ``serve [--host H] [--port P] [--workers N] [--cache-dir DIR]
   [--no-cache] [--capacity N] [--scoped-cache]`` — run the persistent
   evaluation service (:mod:`repro.serve`): an HTTP job queue whose
@@ -65,11 +79,11 @@ Usage (installed as ``python -m repro.cli``):
 
 Every subcommand that takes a system shares one option parent
 (``--array/--slots/--spec`` plus ``--fast/--jobs/--only`` where they
-apply) and builds its configurations through the single
-:func:`repro.api.build_config` path.  ``--array`` and ``--arrays`` are
-the same option; both accept comma-separated lists, as does
-``--slots``.  Commands that run exactly one system reject selections
-that expand to several.
+apply) and builds its configurations through the single canonical
+:class:`repro.system.config.SystemSpec` path.  ``--array`` and
+``--arrays`` are the same option; both accept comma-separated lists,
+as does ``--slots``.  Commands that run exactly one system reject
+selections that expand to several.
 """
 
 from __future__ import annotations
@@ -79,7 +93,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import blocks_for_coverage, instructions_per_branch
-from repro.api import build_config, load_target
+from repro.api import SystemSpec, load_target
 from repro.asm.program import Program
 from repro.cgra.render import render_configuration
 from repro.dim import BimodalPredictor, Translator
@@ -138,17 +152,13 @@ def _shared_options(array: Optional[str], slots: str, spec: str,
     return parent
 
 
-def _build_configs(args: argparse.Namespace) -> List[SystemConfig]:
-    """Expand ``--array/--slots/--spec`` into system configurations.
+def _build_specs(args: argparse.Namespace) -> List[SystemSpec]:
+    """Expand ``--array/--slots/--spec`` into :class:`SystemSpec`\\ s.
 
-    The single config-construction path for every subcommand; all
+    The single spec-construction path for every subcommand; all
     validation errors surface as :class:`SystemExit` with the
-    underlying :func:`repro.api.build_config` message.
+    underlying :class:`repro.system.config.SystemSpec` message.
     """
-    if args.array is None:
-        from repro.system.sweep import paper_matrix
-
-        return paper_matrix()
     arrays = [a.strip() for a in args.array.split(",") if a.strip()]
     try:
         slot_counts = [int(s) for s in str(args.slots).split(",")
@@ -157,25 +167,40 @@ def _build_configs(args: argparse.Namespace) -> List[SystemConfig]:
         raise SystemExit(f"--slots must be comma-separated integers, "
                          f"got {args.slots!r}")
     spec_values = _SPEC_VALUES[args.spec]
-    configs: List[SystemConfig] = []
+    specs: List[SystemSpec] = []
     try:
         for array in arrays:
             for spec in spec_values:
                 if array == "ideal":
-                    configs.append(build_config("ideal",
-                                                speculation=spec))
+                    specs.append(SystemSpec(array="ideal",
+                                            speculation=spec))
                 else:
                     for slot_count in slot_counts:
-                        configs.append(build_config(array, slot_count,
-                                                    spec))
+                        specs.append(SystemSpec(array=array,
+                                                slots=slot_count,
+                                                speculation=spec))
         if getattr(args, "ideal", False) and "ideal" not in arrays:
             for spec in spec_values:
-                configs.append(build_config("ideal", speculation=spec))
+                specs.append(SystemSpec(array="ideal",
+                                        speculation=spec))
     except ValueError as exc:
         raise SystemExit(str(exc))
-    if not configs:
+    if not specs:
         raise SystemExit("no configurations selected")
-    return configs
+    return specs
+
+
+def _build_configs(args: argparse.Namespace) -> List[SystemConfig]:
+    """Build system configurations from the shared options.
+
+    ``--array`` unset means the full paper Table 2 matrix; otherwise
+    every selected :class:`SystemSpec` is built.
+    """
+    if args.array is None:
+        from repro.system.sweep import paper_matrix
+
+        return paper_matrix()
+    return [spec.build() for spec in _build_specs(args)]
 
 
 def _single_config(args: argparse.Namespace) -> SystemConfig:
@@ -422,6 +447,108 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _mpsoc_catalog(args: argparse.Namespace):
+    """The accelerator catalog from the shared system options.
+
+    Each selected :class:`SystemSpec` becomes one catalog entry; the
+    entry is named by its array alone when that is unambiguous,
+    otherwise by the full canonical system name.
+    """
+    specs = _build_specs(args)
+    arrays = [spec.array for spec in specs]
+    return tuple(
+        (spec.array if arrays.count(spec.array) == 1 else spec.name,
+         spec)
+        for spec in specs)
+
+
+def _cmd_mpsoc(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.mpsoc import (InfeasibleBudgetError, explore_mix,
+                             mpsoc_spec)
+    from repro.system.artifacts import ArtifactCache, default_cache_dir
+
+    spec_kwargs = {"catalog": _mpsoc_catalog(args),
+                   "max_arrays": args.max_arrays,
+                   "serial_fraction": args.serial_fraction}
+    if args.cores:
+        try:
+            spec_kwargs["core_counts"] = tuple(
+                int(c) for c in args.cores.split(",") if c.strip())
+        except ValueError:
+            raise SystemExit(f"--cores must be comma-separated "
+                             f"integers, got {args.cores!r}")
+    cache = None
+    if not args.no_cache:
+        root = args.cache_dir if args.cache_dir else default_cache_dir()
+        cache = ArtifactCache(root)
+    client = None
+    if args.url:
+        from repro.serve.client import ServeError, connect
+
+        try:
+            client = connect(args.url, timeout=600.0)
+        except (ServeError, OSError) as exc:
+            raise SystemExit(f"cannot reach service at {args.url}: "
+                             f"{exc}")
+    telemetry = Telemetry() if args.telemetry else None
+    objectives = tuple(o.strip() for o in args.objectives.split(",")
+                       if o.strip())
+    try:
+        spec = mpsoc_spec(preset=args.preset,
+                          area_budget_gates=args.area_budget,
+                          mix=args.mix, **spec_kwargs)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        result = explore_mix(spec, strategy=args.strategy,
+                             objectives=objectives, budget=args.budget,
+                             seed=args.seed, jobs=args.jobs,
+                             fast=args.fast, cache=cache,
+                             client=client, telemetry=telemetry)
+    except InfeasibleBudgetError as exc:
+        raise SystemExit(json.dumps(exc.as_dict(), sort_keys=True))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    frontier = result.frontier
+    stats = result.stats
+    label = spec.name or f"{spec.area_budget_gates} gates"
+    print(f"scenario   : {label} "
+          f"({spec.area_budget_gates:,} gates), mix "
+          + ",".join(f"{n}:{w:g}" for n, w in spec.mix))
+    print(f"allocations: {stats.feasible_allocations} feasible "
+          f"({stats.pruned_allocations} pruned by budget/pairing), "
+          f"{stats.allocations_scored} scored via "
+          f"{stats.matrix_cells} matrix cells")
+    print(f"frontier   : {len(frontier.points)} points "
+          f"({frontier.dominated} dominated), "
+          f"hypervolume {frontier.hypervolume:.4g}\n")
+    print(f"{'allocation':20s} {'gates':>11s} {'speedup':>8s} "
+          f"{'energy':>7s}")
+    for point in frontier.points:
+        print(f"{point.system:20s} {point.gates:>11,d} "
+              f"{point.geomean_speedup:>7.2f}x "
+              f"{point.geomean_energy_ratio:>6.2f}x")
+    tables = result.dispatch_tables()
+    best = frontier.points[-1].system if frontier.points else None
+    if best is not None and tables.get(best):
+        print(f"\ndispatch for {best}:")
+        for row in tables[best]:
+            print(f"  {row.workload:14s} -> {row.tile:6s} "
+                  f"({row.speedup:.2f}x, weight {row.weight:g})")
+    if args.frontier:
+        with open(args.frontier, "w") as handle:
+            handle.write(frontier.to_json() + "\n")
+        print(f"\nwrote {args.frontier}")
+    if telemetry is not None:
+        telemetry.write_jsonl(args.telemetry)
+        print(f"wrote {args.telemetry} ({telemetry.events.emitted} "
+              f"events, {telemetry.events.dropped} dropped)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import serve_forever
     from repro.system.artifacts import default_cache_dir
@@ -499,10 +626,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         client: ServeClient = FleetClient(url)
     else:
         client = ServeClient(url or "http://127.0.0.1:8350")
-    configs = [{"array": _array_of(config),
-                "slots": config.dim.cache_slots,
-                "speculation": config.dim.speculation}
-               for config in _build_configs(args)]
+    configs = [spec.to_dict() for spec in _build_specs(args)]
     names = _parse_workload_subset(args.only)
     kwargs = dict(fast=args.fast, priority=args.priority,
                   timeout=args.timeout)
@@ -548,11 +672,6 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             handle.write(body)
         print(f"wrote {args.json}")
     return 0
-
-
-def _array_of(config: SystemConfig) -> str:
-    """Recover the Table 1 array name from a built configuration."""
-    return config.name.split("/", 1)[0]
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -708,6 +827,59 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable the persistent artifact "
                                 "cache")
     explore_p.set_defaults(func=_cmd_explore)
+
+    mpsoc_p = sub.add_parser(
+        "mpsoc",
+        help="explore MPSoC core/array allocations for a traffic mix",
+        parents=[_shared_options("C1,C2,C3", "64", "on", fast=True,
+                                 jobs=True)])
+    mpsoc_p.add_argument("--preset", default=None,
+                         choices=("sys-s", "sys-m", "sys-l"),
+                         help="area-budget preset derived from the "
+                              "Table 3a unit costs")
+    mpsoc_p.add_argument("--area-budget", type=int, default=None,
+                         help="explicit area budget in gates "
+                              "(instead of --preset)")
+    mpsoc_p.add_argument("--mix", default=None,
+                         help="weighted traffic mix as name:weight,"
+                              "... (default: the whole suite, equal "
+                              "weights)")
+    mpsoc_p.add_argument("--cores", default=None,
+                         help="comma-separated candidate core counts "
+                              "(default 1,2,4)")
+    mpsoc_p.add_argument("--max-arrays", type=int, default=2,
+                         help="array slots per allocation")
+    mpsoc_p.add_argument("--serial-fraction", type=float, default=0.1,
+                         help="Amdahl serial fraction of each "
+                              "workload's phase model")
+    mpsoc_p.add_argument("--strategy", default="grid",
+                         help="search strategy: grid, random, "
+                              "shalving, or hillclimb")
+    mpsoc_p.add_argument("--budget", type=int, default=None,
+                         help="max allocation evaluations (default: "
+                              "exhaust the feasible space)")
+    mpsoc_p.add_argument("--objectives", default="speedup,area",
+                         help="comma-separated objectives (speedup, "
+                              "area, energy)")
+    mpsoc_p.add_argument("--seed", type=int, default=0,
+                         help="RNG seed: same seed + scenario => "
+                              "byte-identical frontier")
+    mpsoc_p.add_argument("--frontier", default=None,
+                         help="write the deterministic frontier JSON "
+                              "report")
+    mpsoc_p.add_argument("--url", default=None,
+                         help="dispatch the catalog matrix to a "
+                              "running repro serve / fleet "
+                              "coordinator")
+    mpsoc_p.add_argument("--telemetry", default=None,
+                         help="write the mpsoc.*/dse.* telemetry "
+                              "event stream as JSONL")
+    mpsoc_p.add_argument("--cache-dir", default=None,
+                         help="artifact-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    mpsoc_p.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent artifact cache")
+    mpsoc_p.set_defaults(func=_cmd_mpsoc)
 
     serve_p = sub.add_parser(
         "serve", help="run the persistent evaluation service")

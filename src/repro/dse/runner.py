@@ -45,7 +45,7 @@ from repro.system.colreplay import (
     columnar_available,
     evaluate_trace_columnar,
 )
-from repro.system.config import SystemConfig, custom_system
+from repro.system.config import SystemConfig, SystemSpec
 from repro.system.energy import EnergyParams, energy_ratio
 from repro.system.sweep import evaluate_matrix
 from repro.system.traceeval import baseline_metrics, evaluate_trace
@@ -309,9 +309,10 @@ class TraceRunner(_RunnerBase):
         wanted = set(names)
         scored = []
         for candidate in batch:
-            config = custom_system(self.space.shape_of(candidate),
-                                   self.space.dim_of(candidate, self.dim),
-                                   timing=self.timing)
+            config = SystemSpec.of(
+                self.space.shape_of(candidate),
+                self.space.dim_of(candidate, self.dim),
+            ).build(timing=self.timing)
             speed_product = 1.0
             energy_product = 1.0
             for name, trace in self.traces.items():

@@ -43,7 +43,7 @@ from repro.cgra.shape import ArrayShape, default_immediate_slots
 from repro.dim.params import DimParams
 from repro.sim.stats import TimingModel
 from repro.system.area import AreaParams, area_report
-from repro.system.config import SystemConfig, custom_system
+from repro.system.config import SystemConfig, SystemSpec
 
 #: ArrayShape fields an axis may target, in constructor order.
 SHAPE_AXES: Tuple[str, ...] = tuple(
@@ -60,6 +60,30 @@ KNOWN_AXES: Tuple[str, ...] = SHAPE_AXES + DIM_AXES
 
 #: the shape fields carried verbatim in a serve wire spec.
 WIRE_SHAPE_FIELDS: Tuple[str, ...] = SHAPE_AXES
+
+#: axis names registered by :class:`ParameterSpace` extensions
+#: (namespace -> names); see :func:`register_axes`.
+_EXTENSION_AXES: Dict[str, Tuple[str, ...]] = {}
+
+
+def register_axes(namespace: str, names: Iterable[str]) -> None:
+    """Extend the closed axis vocabulary with an extension's axes.
+
+    The axis vocabulary stays closed — an unknown name is still a
+    :class:`ValueError` — but subsystems layering new search dimensions
+    on the explorer (``repro.mpsoc`` registers its ``cores`` and
+    ``array<i>`` allocation axes this way) declare them here once at
+    import time.  Registration is idempotent; a namespace's names
+    simply replace its previous set.
+    """
+    _EXTENSION_AXES[namespace] = tuple(names)
+
+
+def known_axes() -> Tuple[str, ...]:
+    """Every currently valid axis name (built-in + registered)."""
+    extras = tuple(name for names in _EXTENSION_AXES.values()
+                   for name in names)
+    return KNOWN_AXES + extras
 
 
 @dataclass(frozen=True)
@@ -105,10 +129,11 @@ class Axis:
     values: Tuple[object, ...]
 
     def __post_init__(self):
-        if self.name not in KNOWN_AXES:
+        valid = known_axes()
+        if self.name not in valid:
             raise ValueError(
                 f"unknown axis {self.name!r}: valid axes are "
-                f"{', '.join(KNOWN_AXES)}")
+                f"{', '.join(valid)}")
         if not self.values:
             raise ValueError(f"axis {self.name!r} has no values")
 
@@ -227,13 +252,15 @@ class ParameterSpace:
         """The complete system a candidate denotes.
 
         The configuration name is canonical and injective over the
-        space (see :func:`repro.system.config.custom_system`), which is
+        space (see :func:`repro.system.config.custom_name`), which is
         what lets serve-dispatched batches slice their results back out
-        by name.
+        by name.  Routed through the canonical
+        :class:`~repro.system.config.SystemSpec`, like every other
+        config constructor.
         """
-        return custom_system(self.shape_of(candidate),
-                             self.dim_of(candidate, base_dim),
-                             timing=timing)
+        return SystemSpec.of(self.shape_of(candidate),
+                             self.dim_of(candidate, base_dim)
+                             ).build(timing=timing)
 
     def gates_of(self, candidate: Candidate) -> int:
         """Table 3a total gates of the candidate's array."""
@@ -245,26 +272,13 @@ class ParameterSpace:
         """The candidate as a ``repro.serve`` protocol config object.
 
         The inverse lives in
-        :func:`repro.serve.protocol.config_from_spec`; the two must
-        build identically-named configurations, which the differential
-        tests in ``tests/test_dse.py`` assert.
+        :func:`repro.serve.protocol.system_spec`; both sides are the
+        canonical :class:`~repro.system.config.SystemSpec` wire form,
+        so they build identically-named configurations by construction
+        (asserted by the differential tests in ``tests/test_dse.py``).
         """
-        shape = self.shape_of(candidate)
-        dim = self.dim_of(candidate, base_dim)
-        spec: Dict[str, object] = {
-            "shape": {name: getattr(shape, name)
-                      for name in WIRE_SHAPE_FIELDS},
-            "slots": dim.cache_slots,
-            "speculation": dim.speculation,
-        }
-        defaults = DimParams(cache_slots=dim.cache_slots,
-                             speculation=dim.speculation)
-        extras = {f.name: getattr(dim, f.name)
-                  for f in dataclasses.fields(DimParams)
-                  if getattr(dim, f.name) != getattr(defaults, f.name)}
-        if extras:
-            spec["dim"] = extras
-        return spec
+        return SystemSpec.of(self.shape_of(candidate),
+                             self.dim_of(candidate, base_dim)).to_dict()
 
     # ------------------------------------------------------------------
     # Declarative round-trip.

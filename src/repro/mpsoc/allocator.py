@@ -1,0 +1,176 @@
+"""The allocation search space: core counts x array-shape mixes.
+
+An allocation is one :class:`~repro.dse.space.Candidate` over the axes
+``cores`` (how many MIPS cores the die carries) and ``array0`` ..
+``array<max_arrays-1>`` (which catalog accelerator, if any, fills each
+array slot).  :class:`AllocationSpace` extends
+:class:`~repro.dse.space.ParameterSpace` — the axes are registered with
+the DSE axis vocabulary via
+:func:`repro.dse.space.register_axes` — so all four exploration
+strategies, the memoising runners, and the Pareto/hypervolume frontier
+operate on allocations exactly as they do on array geometries.
+
+Feasibility is threefold and lives in the space, not the strategies
+(the DSE convention):
+
+- **budget**: ``cores * core_gates + sum(array gates) <= budget``
+  (Table 3a totals via :func:`repro.system.area.area_report`);
+- **pairing**: at most one array per core (``len(arrays) <= cores``);
+- **canonical order**: array slots are sorted by catalog order with
+  empty slots last, so each *multiset* of arrays appears exactly once
+  (slot permutations are pruned, not double-counted).
+
+A budget too small for even the cheapest allocation raises the
+structured :class:`InfeasibleBudgetError`, never a bare crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.dse.space import (
+    Axis,
+    Candidate,
+    ParameterSpace,
+    register_axes,
+)
+from repro.system.area import AreaParams, area_report
+from repro.system.config import SystemSpec
+
+from repro.mpsoc.spec import MAX_ARRAY_SLOTS, NO_ARRAY, MpsocSpec
+
+#: the allocation axes join the closed DSE axis vocabulary once, at
+#: import time.
+register_axes("mpsoc", ("cores",) + tuple(
+    f"array{i}" for i in range(MAX_ARRAY_SLOTS)))
+
+
+class InfeasibleBudgetError(ValueError):
+    """No allocation fits the area budget — a structured error.
+
+    Carries the budget and the cheapest possible allocation cost so
+    callers (CLI, service) can report machine-readable diagnostics via
+    :meth:`as_dict` instead of crashing.
+    """
+
+    code = "infeasible_budget"
+
+    def __init__(self, budget: int, cheapest: int,
+                 what: str = "the cheapest (a single plain core)"):
+        super().__init__(
+            f"area budget of {budget} gates admits no allocation: "
+            f"{what} needs {cheapest} gates")
+        self.budget = budget
+        self.cheapest = cheapest
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"error": {"code": self.code, "message": str(self),
+                          "budget_gates": self.budget,
+                          "cheapest_allocation_gates": self.cheapest}}
+
+
+@lru_cache(maxsize=1024)
+def _system_gates(spec: SystemSpec, params: AreaParams) -> int:
+    """Table 3a total gates of one catalog accelerator."""
+    return area_report(spec.build().shape, params).total_gates
+
+
+@dataclass(frozen=True)
+class AllocationSpace(ParameterSpace):
+    """A :class:`ParameterSpace` over one scenario's allocations."""
+
+    spec: Optional[MpsocSpec] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.spec is None:
+            raise ValueError("an AllocationSpace needs its MpsocSpec")
+
+    # ------------------------------------------------------------------
+    # Allocation views.
+    # ------------------------------------------------------------------
+    def slots_of(self, candidate: Candidate) -> Tuple[str, ...]:
+        """The raw array-slot values, slot order."""
+        return tuple(candidate.get(f"array{i}", NO_ARRAY)
+                     for i in range(self.spec.max_arrays))
+
+    def arrays_of(self, candidate: Candidate) -> Tuple[str, ...]:
+        """The catalog names of the allocation's arrays (may repeat)."""
+        return tuple(slot for slot in self.slots_of(candidate)
+                     if slot != NO_ARRAY)
+
+    def cores_of(self, candidate: Candidate) -> int:
+        return int(candidate.get("cores"))
+
+    def allocation_name(self, candidate: Candidate) -> str:
+        """Canonical allocation identity, e.g. ``2c+C1+C2`` (injective
+        thanks to the canonical slot ordering)."""
+        cores = self.cores_of(candidate)
+        return f"{cores}c" + "".join(
+            f"+{name}" for name in self.arrays_of(candidate))
+
+    def catalog_gates(self, name: str) -> int:
+        return _system_gates(self.spec.catalog_specs()[name],
+                             self.area_params)
+
+    def gates_of(self, candidate: Candidate) -> int:
+        """Die cost: cores at the MIPS unit price plus the arrays'
+        Table 3a totals."""
+        gates = self.cores_of(candidate) * self.spec.core_gates
+        for name in self.arrays_of(candidate):
+            gates += self.catalog_gates(name)
+        return gates
+
+    # ------------------------------------------------------------------
+    # Feasibility.
+    # ------------------------------------------------------------------
+    def _canonical(self, slots: Tuple[str, ...]) -> bool:
+        order = {name: i for i, (name, _)
+                 in enumerate(self.spec.catalog)}
+        keys = [(1, 0) if slot == NO_ARRAY else (0, order[slot])
+                for slot in slots]
+        return keys == sorted(keys)
+
+    def satisfies(self, candidate: Candidate) -> bool:
+        slots = self.slots_of(candidate)
+        if not self._canonical(slots):
+            return False
+        arrays = [s for s in slots if s != NO_ARRAY]
+        if len(arrays) > self.cores_of(candidate):
+            return False
+        return self.gates_of(candidate) <= self.spec.area_budget_gates
+
+    # ------------------------------------------------------------------
+    # Declarative round-trip.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload = super().to_dict()
+        payload["mpsoc"] = self.spec.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]
+                  ) -> "AllocationSpace":
+        spec = MpsocSpec.from_dict(payload["mpsoc"])
+        return allocation_space(spec)
+
+
+def allocation_space(spec: MpsocSpec) -> AllocationSpace:
+    """The :class:`AllocationSpace` of one scenario.
+
+    Raises :class:`InfeasibleBudgetError` (structured, machine
+    readable) when not even the cheapest allocation — the smallest core
+    count with every array slot empty — fits the budget.
+    """
+    axes = (Axis("cores", spec.core_counts),) + tuple(
+        Axis(f"array{i}",
+             (NO_ARRAY,) + tuple(name for name, _ in spec.catalog))
+        for i in range(spec.max_arrays))
+    space = AllocationSpace(
+        axes=axes, area_budget_gates=spec.area_budget_gates, spec=spec)
+    cheapest = min(spec.core_counts) * spec.core_gates
+    if cheapest > spec.area_budget_gates:
+        raise InfeasibleBudgetError(spec.area_budget_gates, cheapest)
+    return space

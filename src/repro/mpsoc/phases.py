@@ -1,0 +1,81 @@
+"""Amdahl-style serial/throughput phase composition.
+
+Each workload in the traffic mix runs in two phases on an allocation
+of ``cores`` MIPS cores, ``len(arrays)`` of which are coupled to a
+DIM-fed array (the pairing constraint guarantees ``arrays <= cores``):
+
+- the **serial phase** (fraction ``serial_fraction`` of baseline time)
+  runs on the single best tile the dispatcher picked — rate
+  ``row.speedup``;
+- the **throughput phase** (the rest) spreads independent requests
+  over every tile: each coupled tile contributes that workload's
+  per-array speedup, each plain core contributes 1.0 — rate
+  :func:`throughput_rate`.
+
+Per-workload time against the one-plain-core baseline (= 1.0) is
+``serial/S + (1 - serial)/R``; the **mix speedup** is the reciprocal
+of the weighted sum of those times (a weighted harmonic mean, the
+correct aggregate for a shared-time traffic mix), and the **mix energy
+ratio** is the weighted geometric mean of the dispatched tiles' energy
+ratios.
+
+Bit-exactness note: when an allocation offers a single effective tile
+(``R == S``) the two phases collapse and the time is computed as the
+single division ``1/S`` — mathematically identical, but it keeps the
+degenerate one-core/one-array scenario *bit-for-bit* equal to the
+paper's own single-system ``repro.api.evaluate`` numbers, which the
+acceptance tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoid a cycle: dispatch.py imports this module
+    from repro.mpsoc.dispatch import DispatchRow
+
+#: per-(workload, catalog array) scores: ``(speedup, energy_ratio)``.
+ScoreTable = Mapping[Tuple[str, str], Tuple[float, float]]
+
+
+def throughput_rate(workload: str, cores: int,
+                    arrays: Sequence[str],
+                    scores: ScoreTable) -> float:
+    """Aggregate request-throughput rate of one workload, in plain-core
+    units: every coupled tile at its array speedup, every remaining
+    plain core at 1.0."""
+    rate = float(cores - len(arrays))
+    for array in arrays:
+        rate += scores[(workload, array)][0]
+    return rate
+
+
+def compose_mix(rows: Sequence["DispatchRow"], cores: int,
+                arrays: Sequence[str], scores: ScoreTable,
+                serial_fraction: float) -> Tuple[float, float]:
+    """(mix speedup, mix energy ratio) of one dispatched allocation.
+
+    ``rows`` carry normalised weights summing to one, in mix order —
+    the float-operation order is fixed, which is what keeps the
+    composition byte-identical across inline, serve-dispatched and
+    fleet-dispatched scoring.
+    """
+    if len(rows) == 1:
+        row = rows[0]
+        rate = throughput_rate(row.workload, cores, arrays, scores)
+        if rate == row.speedup:
+            # a singleton mix on a single effective tile IS the paper's
+            # single-system scenario; return its numbers untouched.
+            return row.speedup, row.energy_ratio
+    total_time = 0.0
+    energy = 1.0
+    for row in rows:
+        rate = throughput_rate(row.workload, cores, arrays, scores)
+        if rate == row.speedup:
+            time = 1.0 / row.speedup
+        else:
+            time = (serial_fraction / row.speedup
+                    + (1.0 - serial_fraction) / rate)
+        total_time += row.weight * time
+        energy *= row.energy_ratio ** row.weight
+    return 1.0 / total_time, energy

@@ -1,0 +1,259 @@
+"""Declarative description of one heterogeneous MPSoC scenario.
+
+An :class:`MpsocSpec` fixes everything an allocation search needs:
+
+- an **area budget** in Table 3a gate-equivalents, either explicit or
+  one of the Sys-S/M/L presets (:func:`budget_presets`), all derived
+  live from :func:`repro.system.area.area_report` unit costs plus the
+  :func:`repro.system.area.mips_core_gates` core price;
+- an **accelerator catalog** — named
+  :class:`~repro.system.config.SystemSpec` entries an allocation may
+  instantiate (default: the paper's C1/C2/C3 arrays);
+- a weighted **traffic mix** of benchmark workloads;
+- the allocation grid (``core_counts``, ``max_arrays``) and the
+  Amdahl ``serial_fraction`` of each request (see
+  :mod:`repro.mpsoc.phases`).
+
+Specs are frozen values that round-trip through JSON
+(:meth:`MpsocSpec.to_dict` / :meth:`MpsocSpec.from_dict`), so a
+scenario travels in files and wire payloads exactly like a
+:class:`~repro.system.config.SystemSpec` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.system.area import AreaParams, area_report, mips_core_gates
+from repro.system.config import PAPER_SHAPES, SystemSpec
+from repro.workloads import workload_names
+
+#: the most array slots an allocation may hold (the allocator registers
+#: one ``array<i>`` axis per slot with the DSE axis vocabulary).
+MAX_ARRAY_SLOTS = 8
+
+#: catalog-slot marker for "no array in this slot".
+NO_ARRAY = "-"
+
+
+def budget_presets(params: AreaParams = AreaParams()) -> Dict[str, int]:
+    """The Sys-S/M/L area budgets, in Table 3a gate-equivalents.
+
+    Derived from the paper's own unit costs rather than hardcoded:
+    Sys-S affords a dual-core with one C1 array, Sys-M a quad-core with
+    a C1 + C2 array pair, Sys-L an eight-core with two C3 arrays —
+    echoing the small/medium/large system tiers of the lumos MPSoC
+    model.
+    """
+    gates = {name: area_report(PAPER_SHAPES[name], params).total_gates
+             for name in ("C1", "C2", "C3")}
+    core = mips_core_gates(params)
+    return {
+        "sys-s": 2 * core + gates["C1"],
+        "sys-m": 4 * core + gates["C1"] + gates["C2"],
+        "sys-l": 8 * core + 2 * gates["C3"],
+    }
+
+
+def default_catalog(slots: int = 64, speculation: bool = True
+                    ) -> Tuple[Tuple[str, SystemSpec], ...]:
+    """The paper's three array configurations as a catalog."""
+    return tuple(
+        (array, SystemSpec(array=array, slots=slots,
+                           speculation=speculation))
+        for array in ("C1", "C2", "C3"))
+
+
+def parse_mix(text: str) -> Tuple[Tuple[str, float], ...]:
+    """Parse the CLI's ``name:weight,name:weight,...`` mix syntax
+    (weight defaults to 1)."""
+    mix = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            name, _, raw = part.partition(":")
+            try:
+                weight = float(raw)
+            except ValueError:
+                raise ValueError(f"bad mix weight {raw!r} for "
+                                 f"{name!r}") from None
+        else:
+            name, weight = part, 1.0
+        mix.append((name, weight))
+    return tuple(mix)
+
+
+@dataclass(frozen=True)
+class MpsocSpec:
+    """One MPSoC scenario: budget, catalog, traffic mix, phase model."""
+
+    area_budget_gates: int
+    mix: Tuple[Tuple[str, float], ...]
+    catalog: Tuple[Tuple[str, SystemSpec], ...] = \
+        field(default_factory=default_catalog)
+    core_counts: Tuple[int, ...] = (1, 2, 4)
+    max_arrays: int = 2
+    serial_fraction: float = 0.1
+    core_gates: int = field(default_factory=mips_core_gates)
+    name: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "mix", tuple(
+            (str(n), float(w)) for n, w in self.mix))
+        object.__setattr__(self, "catalog", tuple(
+            (str(n), s) for n, s in self.catalog))
+        object.__setattr__(self, "core_counts",
+                           tuple(int(c) for c in self.core_counts))
+        if not (isinstance(self.area_budget_gates, int)
+                and not isinstance(self.area_budget_gates, bool)):
+            raise ValueError("area_budget_gates must be an integer")
+        if not self.mix:
+            raise ValueError("the traffic mix must not be empty")
+        known = set(workload_names())
+        seen = set()
+        for workload, weight in self.mix:
+            if workload not in known:
+                raise ValueError(f"unknown workload {workload!r} in "
+                                 f"the traffic mix")
+            if workload in seen:
+                raise ValueError(f"duplicate workload {workload!r} in "
+                                 f"the traffic mix")
+            seen.add(workload)
+            if not weight > 0.0:
+                raise ValueError(f"mix weight of {workload!r} must be "
+                                 f"positive, got {weight}")
+        if not self.catalog:
+            raise ValueError("the accelerator catalog must not be empty")
+        names = [n for n, _ in self.catalog]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate catalog names: {names}")
+        for entry_name, entry in self.catalog:
+            if (not entry_name or entry_name == NO_ARRAY
+                    or any(ch in entry_name for ch in "+,= \t")):
+                raise ValueError(f"bad catalog name {entry_name!r} "
+                                 f"(reserved characters)")
+            if not isinstance(entry, SystemSpec):
+                raise ValueError(f"catalog entry {entry_name!r} must "
+                                 f"be a SystemSpec")
+        if not self.core_counts:
+            raise ValueError("core_counts must not be empty")
+        if any(c <= 0 for c in self.core_counts):
+            raise ValueError("core counts must be positive")
+        if list(self.core_counts) != sorted(set(self.core_counts)):
+            raise ValueError("core_counts must be strictly increasing")
+        if not 1 <= self.max_arrays <= MAX_ARRAY_SLOTS:
+            raise ValueError(f"max_arrays must be in "
+                             f"1..{MAX_ARRAY_SLOTS}")
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must be in [0, 1]")
+        if self.core_gates <= 0:
+            raise ValueError("core_gates must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.mix)
+
+    def weights(self, names: Optional[Sequence[str]] = None
+                ) -> Tuple[Tuple[str, float], ...]:
+        """The mix restricted to ``names`` (default: all of it), with
+        weights normalised to sum to one, in mix order."""
+        wanted = set(names) if names is not None else None
+        subset = [(n, w) for n, w in self.mix
+                  if wanted is None or n in wanted]
+        if not subset:
+            raise ValueError("no mix workloads selected")
+        total = sum(w for _, w in subset)
+        return tuple((n, w / total) for n, w in subset)
+
+    def catalog_specs(self) -> Dict[str, SystemSpec]:
+        return dict(self.catalog)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "area_budget_gates": self.area_budget_gates,
+            "mix": [[n, w] for n, w in self.mix],
+            "catalog": [[n, s.to_dict()] for n, s in self.catalog],
+            "core_counts": list(self.core_counts),
+            "max_arrays": self.max_arrays,
+            "serial_fraction": self.serial_fraction,
+            "core_gates": self.core_gates,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MpsocSpec":
+        if not isinstance(payload, Mapping):
+            raise ValueError("an MPSoC spec must be a JSON object")
+        unknown = set(payload) - {"area_budget_gates", "mix", "catalog",
+                                  "core_counts", "max_arrays",
+                                  "serial_fraction", "core_gates",
+                                  "name"}
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        kwargs: Dict[str, object] = {
+            "area_budget_gates": payload.get("area_budget_gates"),
+            "mix": tuple((n, w) for n, w in payload.get("mix", ())),
+        }
+        if "catalog" in payload:
+            kwargs["catalog"] = tuple(
+                (n, SystemSpec.from_dict(entry))
+                for n, entry in payload["catalog"])
+        for key in ("core_counts", "max_arrays", "serial_fraction",
+                    "core_gates", "name"):
+            if key in payload:
+                value = payload[key]
+                kwargs[key] = tuple(value) if key == "core_counts" \
+                    else value
+        return cls(**kwargs)
+
+
+MixLike = Union[str, Mapping[str, float],
+                Sequence[Tuple[str, float]], Sequence[str], None]
+
+
+def mpsoc_spec(preset: Optional[str] = None,
+               area_budget_gates: Optional[int] = None,
+               mix: MixLike = None, **kwargs) -> MpsocSpec:
+    """Convenience constructor: resolve a budget preset and a mix form.
+
+    ``preset`` is ``sys-s``/``sys-m``/``sys-l`` (mutually exclusive
+    with an explicit ``area_budget_gates``); ``mix`` may be the CLI's
+    ``"name:weight,..."`` string, a mapping, a pair sequence, a plain
+    name sequence (equal weights), or ``None`` for the whole suite at
+    equal weights.  Remaining keyword arguments pass through to
+    :class:`MpsocSpec`.
+    """
+    if (preset is None) == (area_budget_gates is None):
+        raise ValueError("pick exactly one of preset= or "
+                         "area_budget_gates=")
+    if preset is not None:
+        presets = budget_presets()
+        if preset not in presets:
+            valid = ", ".join(sorted(presets))
+            raise ValueError(f"unknown budget preset {preset!r}: valid "
+                             f"presets are {valid}")
+        area_budget_gates = presets[preset]
+        kwargs.setdefault("name", preset)
+    if mix is None:
+        pairs = tuple((n, 1.0) for n in workload_names())
+    elif isinstance(mix, str):
+        pairs = parse_mix(mix)
+    elif isinstance(mix, Mapping):
+        pairs = tuple(mix.items())
+    else:
+        entries = list(mix)
+        if entries and isinstance(entries[0], str):
+            pairs = tuple((n, 1.0) for n in entries)
+        else:
+            pairs = tuple(entries)
+    return MpsocSpec(area_budget_gates=area_budget_gates, mix=pairs,
+                     **kwargs)

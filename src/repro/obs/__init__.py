@@ -43,6 +43,8 @@ from repro.obs.schema import (
     dse_counters,
     dse_timers,
     engine_counters,
+    mpsoc_counters,
+    mpsoc_timers,
     predictor_counters,
     rcache_counters,
     serve_counters,
@@ -66,6 +68,8 @@ __all__ = [
     "dse_counters",
     "dse_timers",
     "engine_counters",
+    "mpsoc_counters",
+    "mpsoc_timers",
     "predictor_counters",
     "rcache_counters",
     "serve_counters",

@@ -63,6 +63,9 @@ EVENT_TYPES = frozenset({
     "fleet.job_redispatched",   # a dead shard's job moved to a survivor
     "fleet.job_shed",           # the in-flight cap rejected a submission
     "fleet.job_finished",       # a job's result (or error) was cached
+    # MPSoC scenario layer (repro.mpsoc)
+    "mpsoc.space_pruned",       # budget feasibility filtered the space
+    "mpsoc.allocation_scored",  # one allocation dispatched + composed
 })
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))

@@ -20,6 +20,7 @@ Namespaces:
 - ``serve.*``      evaluation-service queue, batching and latency
 - ``dse.*``        design-space exploration budget and frontier
 - ``fleet.*``      coordinator sharding, failover and load shedding
+- ``mpsoc.*``      MPSoC scenario allocation, dispatch and composition
 """
 
 from __future__ import annotations
@@ -151,6 +152,22 @@ FLEET_TIMERS = {
     "fleet.poll_seconds": "poll_seconds",
 }
 
+#: carrier: :class:`repro.mpsoc.dispatch.MpsocStats` (a ``DseStats``
+#: subclass — one exploration exports both the ``dse.*`` names and
+#: these scenario-layer additions).
+MPSOC_COUNTERS = {
+    "mpsoc.allocations_scored": "allocations_scored",
+    "mpsoc.feasible_allocations": "feasible_allocations",
+    "mpsoc.pruned_allocations": "pruned_allocations",
+    "mpsoc.dispatch_accelerated": "dispatch_accelerated",
+    "mpsoc.dispatch_plain": "dispatch_plain",
+    "mpsoc.matrix_cells": "matrix_cells",
+}
+
+MPSOC_TIMERS = {
+    "mpsoc.compose_seconds": "compose_seconds",
+}
+
 
 def _collect(obj, mapping: Dict[str, str]) -> Dict[str, int]:
     return {name: getattr(obj, attr) for name, attr in mapping.items()}
@@ -217,3 +234,15 @@ def fleet_counters(stats) -> Dict[str, int]:
 def fleet_timers(stats) -> Dict[str, float]:
     """Canonical timer values of a ``FleetStats``."""
     return _collect(stats, FLEET_TIMERS)
+
+
+def mpsoc_counters(stats) -> Dict[str, int]:
+    """Scenario-layer counters of a
+    :class:`repro.mpsoc.dispatch.MpsocStats` (the ``dse.*`` base
+    counters come from :func:`dse_counters`)."""
+    return _collect(stats, MPSOC_COUNTERS)
+
+
+def mpsoc_timers(stats) -> Dict[str, float]:
+    """Scenario-layer timer values of an ``MpsocStats``."""
+    return _collect(stats, MPSOC_TIMERS)

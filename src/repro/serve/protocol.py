@@ -323,27 +323,40 @@ def config_spec_dict(spec: ConfigSpec) -> Dict[str, object]:
     return payload
 
 
+def system_spec(spec: ConfigSpec):
+    """The canonical :class:`~repro.system.config.SystemSpec` one
+    normalised wire spec denotes.
+
+    The single wire-to-system bridge: the scheduler's batch execution
+    routes every config through ``system_spec(spec).build()``, so the
+    wire form, the spec and the built configuration agree on the
+    canonical name — exactly the one the submitting
+    :class:`repro.dse.space.ParameterSpace` or
+    :class:`repro.mpsoc` catalog predicts.
+    """
+    from repro.system.config import SystemSpec
+
+    first, slots, speculation = spec
+    if isinstance(first, str):
+        return SystemSpec(array=first, slots=slots,
+                          speculation=speculation)
+    _, shape_values, extras = first
+    shape = ArrayShape(**dict(zip(SHAPE_FIELDS, shape_values)))
+    return SystemSpec(shape=shape, slots=slots, speculation=speculation,
+                      dim_extras=tuple(extras))
+
+
 def config_from_spec(spec: ConfigSpec):
     """Build the :class:`~repro.system.config.SystemConfig` one
     normalised spec denotes.
 
-    The single wire-to-system constructor: the scheduler's batch
-    execution routes every config through here, so a paper-array spec
-    still lands on :func:`repro.api.build_config` and a shape spec on
-    :func:`repro.system.config.custom_system` — with exactly the name
-    the submitting :class:`repro.dse.space.ParameterSpace` predicts.
+    .. deprecated:: 1.2
+        A thin back-compat shim: new code should write
+        ``system_spec(spec).build()`` (or construct a
+        :class:`~repro.system.config.SystemSpec` directly from the wire
+        dict with ``SystemSpec.from_dict``).
     """
-    from repro.api import build_config
-    from repro.system.config import custom_system
-
-    first, slots, speculation = spec
-    if isinstance(first, str):
-        return build_config(first, slots, speculation)
-    _, shape_values, extras = first
-    shape = ArrayShape(**dict(zip(SHAPE_FIELDS, shape_values)))
-    dim = DimParams(cache_slots=slots, speculation=speculation,
-                    **dict(extras))
-    return custom_system(shape, dim)
+    return system_spec(spec).build()
 
 
 def _validate_names(raw: object) -> Optional[Tuple[str, ...]]:

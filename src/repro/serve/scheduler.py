@@ -69,9 +69,9 @@ def _init_worker(cache_root: Optional[str]) -> None:
 
 
 def _build_configs(specs: Sequence[ConfigSpec]):
-    from repro.serve.protocol import config_from_spec
+    from repro.serve.protocol import system_spec
 
-    return [config_from_spec(spec) for spec in specs]
+    return [system_spec(spec).build() for spec in specs]
 
 
 def run_batch(spec: BatchSpec) -> Dict[str, object]:

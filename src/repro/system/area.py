@@ -43,6 +43,23 @@ class AreaParams:
     ldst_share_den: int = 4
 
 
+#: transistor count of an R3000-class scalar MIPS core — the processor
+#: generation the paper couples the array to.  The MPSoC budget model
+#: prices plain cores with this under the same transistors-per-gate
+#: convention Table 3a uses for the array.
+MIPS_CORE_TRANSISTORS = 115_000
+
+
+def mips_core_gates(params: AreaParams = AreaParams()) -> int:
+    """Gate-equivalents of one plain MIPS core.
+
+    The unit cost behind the ``repro.mpsoc`` Sys-S/M/L budget presets:
+    an allocation of N cores and M arrays costs
+    ``N * mips_core_gates() + sum of the arrays' Table 3a totals``.
+    """
+    return round(MIPS_CORE_TRANSISTORS / params.transistors_per_gate)
+
+
 @dataclass(frozen=True)
 class AreaRow:
     unit: str

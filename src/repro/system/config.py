@@ -1,9 +1,23 @@
-"""The paper's system configurations (Table 1) and a bundling helper."""
+"""The paper's system configurations (Table 1) and the canonical
+:class:`SystemSpec` every entry point builds them from.
+
+Historically a system configuration was constructed two parallel ways:
+``repro.api.build_config`` took Table 1 array names, while the serve
+protocol's ``config_from_spec`` took shape-form wire dicts for DSE
+dispatch.  :class:`SystemSpec` unifies both: one frozen,
+JSON-round-trippable value that names either a paper array or an
+arbitrary geometry (plus DIM policy overrides) and builds exactly the
+:class:`SystemConfig` — same canonical name, same bits — the two old
+paths produced.  The CLI, the serve protocol, the DSE runners and the
+MPSoC scenario layer all route through it; ``build_config`` and
+``config_from_spec`` remain as thin deprecated shims.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.cgra.shape import (
     ArrayShape,
@@ -118,3 +132,179 @@ def custom_system(shape: ArrayShape, dim: Optional[DimParams] = None,
     return SystemConfig(shape, dim,
                         timing if timing is not None else TimingModel(),
                         name=custom_name(shape, dim))
+
+
+#: ArrayShape field names in declaration order — the key set of a
+#: :class:`SystemSpec` wire ``"shape"`` object.
+SPEC_SHAPE_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in fields(ArrayShape))
+
+#: DimParams fields a :class:`SystemSpec` may override beyond the
+#: top-level ``slots``/``speculation`` pair.
+SPEC_DIM_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in fields(DimParams)
+    if f.name not in ("cache_slots", "speculation"))
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """The one canonical, JSON-round-trippable system description.
+
+    Exactly one of ``array`` (a Table 1 name: C1/C2/C3/ideal) or
+    ``shape`` (an arbitrary :class:`~repro.cgra.shape.ArrayShape`) is
+    set.  ``slots``/``speculation`` are the reconfiguration-cache size
+    and speculation switch; ``dim_extras`` carries any further
+    :class:`~repro.dim.params.DimParams` overrides as sorted
+    ``(name, value)`` pairs (shape form only, mirroring the serve wire
+    protocol).  :meth:`build` produces the identically-named
+    :class:`SystemConfig` that :func:`paper_system` /
+    :func:`custom_system` always did, so specs, wire dicts and configs
+    agree on names by construction.
+    """
+
+    array: Optional[str] = None
+    shape: Optional[ArrayShape] = None
+    slots: int = 64
+    speculation: bool = False
+    dim_extras: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if (self.array is None) == (self.shape is None):
+            raise ValueError(
+                "a SystemSpec names exactly one of array= or shape=")
+        if self.array is not None and self.array not in PAPER_SHAPES:
+            valid = ", ".join(sorted(PAPER_SHAPES))
+            raise ValueError(f"unknown array {self.array!r}: valid "
+                             f"array names are {valid}")
+        if self.shape is not None and not isinstance(self.shape,
+                                                     ArrayShape):
+            raise ValueError("shape must be an ArrayShape")
+        if not (isinstance(self.slots, int)
+                and not isinstance(self.slots, bool) and self.slots > 0):
+            raise ValueError("slots must be a positive integer")
+        if not isinstance(self.speculation, bool):
+            raise ValueError("speculation must be a boolean")
+        extras = tuple(sorted(self.dim_extras))
+        for name, _ in extras:
+            if name not in SPEC_DIM_FIELDS:
+                raise ValueError(
+                    f"unknown dim extra {name!r}: valid extras are "
+                    f"{', '.join(SPEC_DIM_FIELDS)} (slots/speculation "
+                    f"are top-level fields)")
+        if extras and self.array is not None:
+            raise ValueError("dim extras require the shape form")
+        object.__setattr__(self, "dim_extras", extras)
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, shape: ArrayShape,
+           dim: Optional[DimParams] = None) -> "SystemSpec":
+        """The spec denoting ``custom_system(shape, dim)`` — DimParams
+        decomposed into slots/speculation plus non-default extras."""
+        dim = dim if dim is not None else DimParams()
+        defaults = DimParams(cache_slots=dim.cache_slots,
+                             speculation=dim.speculation)
+        extras = tuple(sorted(
+            (f.name, getattr(dim, f.name)) for f in fields(DimParams)
+            if getattr(dim, f.name) != getattr(defaults, f.name)))
+        return cls(shape=shape, slots=dim.cache_slots,
+                   speculation=dim.speculation, dim_extras=extras)
+
+    def dim(self) -> DimParams:
+        """The complete DimParams this spec pins."""
+        return DimParams(cache_slots=self.slots,
+                         speculation=self.speculation,
+                         **dict(self.dim_extras))
+
+    def build(self, timing: Optional[TimingModel] = None) -> SystemConfig:
+        """The :class:`SystemConfig` this spec denotes.
+
+        Names are exactly the historical ones — ``C2/64/spec`` for
+        paper arrays (the ideal system keeps its unbounded-cache
+        convention), :func:`custom_name` geometry names for shapes — so
+        matrix slicing and serve coalescing by name keep working.
+        """
+        if self.array is not None:
+            config = paper_system(self.array, self.slots,
+                                  self.speculation)
+            if timing is not None:
+                config = replace(config, timing=timing)
+            return config
+        return custom_system(self.shape, self.dim(), timing=timing)
+
+    @property
+    def name(self) -> str:
+        """The canonical configuration name (injective over specs)."""
+        return self.build().name
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the serve wire config-object form).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        if self.array is not None:
+            return {"array": self.array, "slots": self.slots,
+                    "speculation": self.speculation}
+        payload: Dict[str, object] = {
+            "shape": {name: getattr(self.shape, name)
+                      for name in SPEC_SHAPE_FIELDS},
+            "slots": self.slots,
+            "speculation": self.speculation,
+        }
+        if self.dim_extras:
+            payload["dim"] = dict(self.dim_extras)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SystemSpec":
+        """Parse the wire form; raises :class:`ValueError` on bad input
+        (the serve protocol wraps this with its structured-error
+        vocabulary)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("a system spec must be a JSON object")
+        unknown = set(payload) - {"array", "shape", "slots",
+                                  "speculation", "dim"}
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        slots = payload.get("slots", 64)
+        speculation = payload.get("speculation", False)
+        if "shape" in payload:
+            if "array" in payload:
+                raise ValueError("array and shape are mutually "
+                                 "exclusive")
+            raw = payload["shape"]
+            if not isinstance(raw, Mapping):
+                raise ValueError("shape must be an object")
+            bad = set(raw) - set(SPEC_SHAPE_FIELDS)
+            if bad:
+                raise ValueError(
+                    f"shape has unknown fields: {sorted(bad)}")
+            missing = [name for name in ("rows", "alus_per_row",
+                                         "mults_per_row",
+                                         "ldsts_per_row")
+                       if name not in raw]
+            if missing:
+                raise ValueError(
+                    f"shape is missing {', '.join(missing)}")
+            values = dict(raw)
+            if "immediate_slots" not in values:
+                values["immediate_slots"] = default_immediate_slots(
+                    int(values["rows"]))
+            shape = ArrayShape(**values)
+            extras = payload.get("dim", {})
+            if not isinstance(extras, Mapping):
+                raise ValueError("dim must be an object")
+            return cls(shape=shape, slots=slots, speculation=speculation,
+                       dim_extras=tuple(sorted(extras.items())))
+        if "dim" in payload:
+            raise ValueError("dim extras require the shape form")
+        return cls(array=payload.get("array", "C3"), slots=slots,
+                   speculation=speculation)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemSpec":
+        return cls.from_dict(json.loads(text))
