@@ -28,6 +28,11 @@ Stable API (the :mod:`repro.api` facade)
 - :func:`repro.mpsoc` — heterogeneous MPSoC scenario exploration
   (:mod:`repro.mpsoc`): core-count x array-shape allocations under
   Sys-S/M/L area budgets, ranked against weighted traffic mixes.
+- :func:`repro.corpus` — seeded synthetic workload corpus generation
+  (:mod:`repro.corpus`): self-checking assembly kernels registered as
+  ordinary workloads.
+- :func:`repro.traffic` — seeded traffic-mix replay against a live
+  serve/fleet endpoint (:mod:`repro.traffic`).
 - :class:`repro.Telemetry` / :data:`repro.NULL_TELEMETRY` — the unified
   observability sink accepted by all of the above (:mod:`repro.obs`).
 
@@ -42,12 +47,14 @@ from repro.api import (
     Target,
     build_config,
     connect,
+    corpus,
     evaluate,
     explore,
     load_target,
     mpsoc,
     run,
     sweep,
+    traffic,
 )
 from repro.obs import (
     NULL_TELEMETRY,
@@ -65,12 +72,14 @@ __all__ = [
     "Target",
     "build_config",
     "connect",
+    "corpus",
     "evaluate",
     "explore",
     "load_target",
     "mpsoc",
     "run",
     "sweep",
+    "traffic",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "Telemetry",

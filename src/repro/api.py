@@ -24,6 +24,12 @@ the advertised entry points:
 - :func:`mpsoc` — heterogeneous MPSoC scenario exploration
   (:mod:`repro.mpsoc`): rank core-count x array-shape allocations
   under an area budget against a weighted traffic mix.
+- :func:`corpus` — generate a seeded synthetic workload corpus
+  (:mod:`repro.corpus`) of self-checking assembly kernels and register
+  them so every other verb sees them as ordinary workloads.
+- :func:`traffic` — replay a seeded, Zipf-skewed traffic mix against a
+  connected serve/fleet endpoint (:mod:`repro.traffic`) and report
+  latency percentiles, coalescing and shed rates.
 
 :func:`build_config` remains as a deprecated shim over
 ``SystemSpec(array=...).build()``.
@@ -239,16 +245,70 @@ def mpsoc(spec=None, **kwargs):
     return explore_mix(spec, **kwargs)
 
 
+def corpus(seed: int = 0, count: int = 100, profile: str = "mixed",
+           register: bool = True,
+           telemetry: Optional[Telemetry] = None):
+    """Generate a seeded synthetic workload corpus (:mod:`repro.corpus`).
+
+    Emits ``count`` parameterised, self-checking assembly kernels drawn
+    from the named knob ``profile`` (``mixed``/``dataflow``/``control``/
+    ``memory``) and, when ``register`` is true, registers them through
+    the :mod:`repro.workloads` registry so :func:`run`,
+    :func:`evaluate`, :func:`sweep`, :func:`explore` and the services
+    consume them like any built-in workload.  Returns the
+    :class:`~repro.corpus.Corpus`; write its manifest with
+    ``.write(path)``.  Deferred import so the core API carries no
+    generator dependencies.
+    """
+    from repro.corpus import CorpusKnobs, generate_corpus, \
+        register_corpus
+
+    generated = generate_corpus(seed, count,
+                                knobs=CorpusKnobs.named(profile),
+                                telemetry=telemetry)
+    if register:
+        register_corpus(generated, telemetry=telemetry)
+    return generated
+
+
+def traffic(client, spec=None, names: Optional[Sequence[str]] = None,
+            telemetry: Optional[Telemetry] = None, **kwargs):
+    """Replay a seeded traffic mix against a live service
+    (:mod:`repro.traffic`).
+
+    ``client`` is a :func:`connect` result (serve or fleet — same /v1
+    protocol); ``spec`` a :class:`~repro.traffic.TrafficSpec` (built
+    from ``kwargs`` when omitted); ``names`` the candidate workloads
+    (defaults to every registered name, including corpus kernels).
+    Returns a :class:`~repro.traffic.TrafficReport` with latency
+    percentiles, batch-coalescing hit rate and shed rate measured from
+    real service telemetry.  Deferred import so the core API carries no
+    replay dependencies.
+    """
+    from repro.traffic import TrafficSpec, replay_traffic
+
+    if spec is None:
+        spec = TrafficSpec(**kwargs)
+        kwargs = {}
+    elif kwargs:
+        raise TypeError("pass either spec or TrafficSpec kwargs, "
+                        "not both")
+    picked = list(names) if names is not None else workload_names()
+    return replay_traffic(client, spec, picked, telemetry=telemetry)
+
+
 __all__ = [
     "Target",
     "RunComparison",
     "SystemSpec",
     "build_config",
     "connect",
+    "corpus",
     "explore",
     "load_target",
     "mpsoc",
     "run",
     "evaluate",
     "sweep",
+    "traffic",
 ]

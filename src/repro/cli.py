@@ -74,6 +74,26 @@ Usage (installed as ``python -m repro.cli``):
 - ``jobs [--url U]`` — list every job the service knows, with states.
 - ``cache {stats,prune} [--cache-dir DIR] [--max-bytes N]`` — inspect
   or LRU-prune the shared artifact store.
+- ``corpus generate [--seed N] [--count N] [--profile P] [--out M]
+  [--names] [--telemetry t.jsonl]`` / ``corpus list <manifest>`` /
+  ``corpus inspect <manifest> <kernel> [--source]`` — the seeded
+  synthetic kernel corpus (:mod:`repro.corpus`): generate hundreds of
+  self-checking assembly kernels with controlled block size, ILP,
+  branch bias/predictability, loop nesting and memory intensity, into
+  a fingerprinted manifest.  Every workload-taking command accepts
+  ``--corpus MANIFEST`` (repeatable) to register the kernels — the
+  manifests are exported via ``REPRO_CORPUS`` so sweep ``--jobs``
+  pools, serve workers and fleet worker processes resolve the same
+  names; ``--corpus-only`` (suite/sweep/explore) restricts the run to
+  corpus kernels.
+- ``traffic [--url U] [--seed N] [--requests N | --duration S]
+  [--rate R] [--arrival poisson|burst|uniform] [--zipf S]
+  [--hot-rotate S] [--priorities 0,5] [--deadline-fraction F]
+  [--corpus M] [--only a,b] [--dry-run] [--json out.json]
+  [--telemetry t.jsonl]`` — replay a seeded, Zipf-skewed open-loop
+  traffic mix (:mod:`repro.traffic`) against a running serve or fleet
+  endpoint, reporting latency percentiles, batch-coalescing hit rate
+  and shed rate from the service's real telemetry.
 - ``disasm <file.s|file.c|workload>`` — disassemble a target's text
   segment.
 
@@ -152,6 +172,61 @@ def _shared_options(array: Optional[str], slots: str, spec: str,
     return parent
 
 
+def _corpus_options() -> argparse.ArgumentParser:
+    """Option parent for commands that can consume corpus manifests."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--corpus", action="append", default=None, metavar="MANIFEST",
+        help="register a corpus manifest's kernels as workloads "
+             "(repeatable; exported via REPRO_CORPUS so worker "
+             "processes see the same corpus)")
+    return parent
+
+
+def _activate_corpus(paths: Optional[List[str]]) -> List[str]:
+    """Register corpus manifests and export them to child processes.
+
+    Returns the registered kernel names in manifest order.  Setting
+    ``REPRO_CORPUS`` *before* any pool/subprocess fan-out is what makes
+    sweep ``--jobs`` workers, serve batch workers and spawned fleet
+    workers resolve the same corpus names byte-identically.
+    """
+    if not paths:
+        return []
+    import os
+
+    from repro.corpus import ManifestError, load_manifest, register_corpus
+    from repro.workloads import CORPUS_ENV
+
+    names: List[str] = []
+    try:
+        for path in paths:
+            names.extend(register_corpus(load_manifest(path)))
+    except (OSError, ManifestError, ValueError) as exc:
+        raise SystemExit(f"corpus error: {exc}")
+    parts = [p for p in os.environ.get(CORPUS_ENV, "").split(os.pathsep)
+             if p]
+    for path in paths:
+        absolute = os.path.abspath(path)
+        if absolute not in parts:
+            parts.append(absolute)
+    os.environ[CORPUS_ENV] = os.pathsep.join(parts)
+    return names
+
+
+def _subset_names(args: argparse.Namespace,
+                  corpus_names: List[str]) -> Optional[List[str]]:
+    """Resolve ``--only``/``--corpus-only`` into a workload subset."""
+    if getattr(args, "corpus_only", False):
+        if not corpus_names:
+            raise SystemExit("--corpus-only needs at least one --corpus "
+                             "manifest")
+        if args.only:
+            raise SystemExit("--corpus-only and --only are exclusive")
+        return corpus_names
+    return _parse_workload_subset(args.only)
+
+
 def _build_specs(args: argparse.Namespace) -> List[SystemSpec]:
     """Expand ``--array/--slots/--spec`` into :class:`SystemSpec`\\ s.
 
@@ -214,6 +289,7 @@ def _single_config(args: argparse.Namespace) -> SystemConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _activate_corpus(getattr(args, "corpus", None))
     program = _load_target(args.target)
     config = _single_config(args)
     plain = run_program(program, collect_trace=True, fast=args.fast)
@@ -306,8 +382,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.workloads.suite import evaluate_suite, format_suite
 
+    corpus_names = _activate_corpus(args.corpus)
     config = _single_config(args)
-    names = _parse_workload_subset(args.only)
+    names = _subset_names(args, corpus_names)
     result = evaluate_suite(config, names=names, jobs=args.jobs,
                             fast=args.fast)
     print(format_suite(result))
@@ -332,8 +409,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.system.artifacts import ArtifactCache, default_cache_dir
     from repro.system.sweep import evaluate_matrix
 
+    corpus_names = _activate_corpus(args.corpus)
     configs = _build_configs(args)
-    names = _parse_workload_subset(args.only)
+    names = _subset_names(args, corpus_names)
     cache = None
     if not args.no_cache:
         root = args.cache_dir if args.cache_dir else default_cache_dir()
@@ -398,7 +476,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                                 area_budget_gates=args.area_budget)
     except (OSError, ValueError) as exc:
         raise SystemExit(str(exc))
-    names = _parse_workload_subset(args.only)
+    corpus_names = _activate_corpus(getattr(args, "corpus", None))
+    names = _subset_names(args, corpus_names)
     cache = None
     if not args.no_cache:
         root = args.cache_dir if args.cache_dir else default_cache_dir()
@@ -469,6 +548,7 @@ def _cmd_mpsoc(args: argparse.Namespace) -> int:
                              mpsoc_spec)
     from repro.system.artifacts import ArtifactCache, default_cache_dir
 
+    _activate_corpus(getattr(args, "corpus", None))
     spec_kwargs = {"catalog": _mpsoc_catalog(args),
                    "max_arrays": args.max_arrays,
                    "serial_fraction": args.serial_fraction}
@@ -553,6 +633,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import serve_forever
     from repro.system.artifacts import default_cache_dir
 
+    _activate_corpus(args.corpus)
     cache_root = None
     if not args.no_cache:
         cache_root = (args.cache_dir if args.cache_dir
@@ -568,6 +649,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet.local import fleet_forever
     from repro.system.artifacts import default_cache_dir
 
+    _activate_corpus(args.corpus)
     cache_root = None
     if not args.no_cache:
         cache_root = str(args.cache_dir if args.cache_dir
@@ -617,6 +699,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient, ServeError
 
+    _activate_corpus(args.corpus)
     url = args.url
     if args.fleet:
         from repro.fleet.client import FleetClient
@@ -706,6 +789,177 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusKnobs, GenerationError, generate_corpus
+
+    try:
+        knobs = CorpusKnobs.named(args.profile)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    telemetry = Telemetry() if args.telemetry else None
+    try:
+        corpus = generate_corpus(args.seed, args.count, knobs=knobs,
+                                 telemetry=telemetry)
+    except GenerationError as exc:
+        raise SystemExit(f"generation failed: {exc}")
+    out = args.out or f"corpus_{args.seed}.json"
+    corpus.write(out, telemetry=telemetry)
+    # with --names the kernel names go to stdout (pipeable into
+    # --only), so the summary moves to stderr.
+    stream = sys.stderr if args.names else sys.stdout
+    categories = {}
+    instructions = 0
+    for kernel in corpus.kernels:
+        categories[kernel.category] = categories.get(kernel.category,
+                                                     0) + 1
+        instructions += kernel.instructions
+    shape = ", ".join(f"{count} {name}" for name, count
+                      in sorted(categories.items()))
+    print(f"wrote {out}: {corpus.count} kernels (seed {args.seed}, "
+          f"profile {knobs.profile})", file=stream)
+    print(f"mix        : {shape}", file=stream)
+    print(f"dynamic    : {instructions:,} self-checked instructions",
+          file=stream)
+    if args.names:
+        for name in corpus.names():
+            print(name)
+    if args.telemetry and telemetry is not None:
+        telemetry.write_jsonl(args.telemetry)
+        print(f"wrote {args.telemetry}", file=stream)
+    return 0
+
+
+def _cmd_corpus_list(args: argparse.Namespace) -> int:
+    from repro.corpus import ManifestError, load_manifest
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ManifestError) as exc:
+        raise SystemExit(str(exc))
+    print(f"corpus seed {manifest['seed']}, "
+          f"profile {manifest.get('profile', 'mixed')}, "
+          f"{manifest['count']} kernels")
+    print(f"{'name':12s} {'class':9s} {'blk':>3s} {'ilp':>3s} "
+          f"{'dia':>3s} {'nest':>4s} {'mem':>5s} {'instrs':>8s} "
+          f"checksum")
+    for entry in manifest["kernels"]:
+        knobs = entry["knobs"]
+        trips = "x".join(str(t) for t in knobs["trips"])
+        print(f"{entry['name']:12s} {entry['category']:9s} "
+              f"{knobs['block_size']:>3d} {knobs['ilp']:>3d} "
+              f"{knobs['diamonds']:>3d} {trips:>4s} "
+              f"{knobs['mem_intensity']:>5.2f} "
+              f"{entry['instructions']:>8,d} {entry['checksum']}")
+    return 0
+
+
+def _cmd_corpus_inspect(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.corpus import ManifestError, load_manifest, \
+        rebuild_kernel_source
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ManifestError) as exc:
+        raise SystemExit(str(exc))
+    entry = next((k for k in manifest["kernels"]
+                  if k["name"] == args.kernel), None)
+    if entry is None:
+        known = ", ".join(k["name"] for k in manifest["kernels"][:10])
+        raise SystemExit(f"kernel {args.kernel!r} not in manifest "
+                         f"(first kernels: {known}, ...)")
+    try:
+        source = rebuild_kernel_source(int(manifest["seed"]), entry)
+    except ManifestError as exc:
+        raise SystemExit(str(exc))
+    print(_json.dumps(entry, indent=2, sort_keys=True))
+    if args.source:
+        print("\n" + source, end="")
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.traffic import TrafficSpec, build_schedule, popularity, \
+        replay_traffic
+
+    corpus_names = _activate_corpus(args.corpus)
+    names = _parse_workload_subset(args.only) or corpus_names \
+        or workload_names()
+    specs = _build_specs(args)
+    if len(specs) != 1:
+        raise SystemExit("traffic drives exactly one system "
+                         "configuration")
+    try:
+        priorities = tuple(int(p) for p in args.priorities.split(",")
+                           if p.strip())
+    except ValueError:
+        raise SystemExit(f"--priorities must be comma-separated "
+                         f"integers, got {args.priorities!r}")
+    try:
+        spec = TrafficSpec(
+            seed=args.seed, requests=args.requests,
+            duration=args.duration, rate=args.rate,
+            arrival=args.arrival, burst=args.burst, zipf_s=args.zipf,
+            hot_rotate=args.hot_rotate, priorities=priorities or (0,),
+            deadline_fraction=args.deadline_fraction,
+            deadline=args.deadline, fast=not args.no_fast)
+        if args.dry_run:
+            schedule = build_schedule(spec, names)
+            print(f"{'#':>5s} {'at(s)':>8s} {'epoch':>5s} {'prio':>4s} "
+                  f"{'deadline':>8s} name")
+            for request in schedule:
+                deadline = (f"{request.deadline:.1f}"
+                            if request.deadline is not None else "-")
+                print(f"{request.index:>5d} {request.at:>8.3f} "
+                      f"{request.epoch:>5d} {request.priority:>4d} "
+                      f"{deadline:>8s} {request.name}")
+            print("\npopularity (requests per workload):")
+            for name, count in popularity(schedule).items():
+                print(f"  {name:14s} {count}")
+            return 0
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    telemetry = Telemetry()
+    try:
+        report = replay_traffic(client, spec, names,
+                                config=specs[0].to_dict(),
+                                telemetry=telemetry, poll=args.poll,
+                                drain_timeout=args.drain_timeout)
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"cannot replay against {args.url}: {exc}")
+    summary = report.summary()
+    print(f"planned    : {summary['planned']} requests over "
+          f"{summary['unique_workloads']} workloads "
+          f"(zipf s={spec.zipf_s}, {spec.arrival} arrivals at "
+          f"{spec.rate}/s)")
+    print(f"outcome    : {summary['completed']} completed, "
+          f"{summary['failed']} failed, {summary['shed']} shed, "
+          f"{summary['timed_out']} timed out in "
+          f"{summary['run_seconds']:.2f}s "
+          f"({summary['throughput_rps']:.1f} done/s)")
+    print(f"latency    : p50 {summary['latency_p50_ms']:.1f}ms, "
+          f"p90 {summary['latency_p90_ms']:.1f}ms, "
+          f"p99 {summary['latency_p99_ms']:.1f}ms "
+          f"(max outstanding {summary['max_outstanding']})")
+    print(f"coalescing : {summary['batched_jobs']} jobs in "
+          f"{summary['batches']} batches "
+          f"(hit rate {summary['coalescing_rate']:.0%}), "
+          f"shed rate {summary['shed_rate']:.0%}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"\nwrote {args.json}")
+    if args.telemetry:
+        telemetry.write_jsonl(args.telemetry)
+        print(f"wrote {args.telemetry}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -715,7 +969,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser(
         "run", help="run a target plain and accelerated",
-        parents=[_shared_options("C3", "64", "off", fast=True)])
+        parents=[_shared_options("C3", "64", "off", fast=True),
+                 _corpus_options()])
     run_p.add_argument("target")
     run_p.set_defaults(func=_cmd_run)
 
@@ -746,9 +1001,13 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p = sub.add_parser(
         "suite", help="evaluate the whole Table 2 suite",
         parents=[_shared_options("C2", "64", "off", fast=True,
-                                 jobs=True, only=True)])
+                                 jobs=True, only=True),
+                 _corpus_options()])
     suite_p.add_argument("--json", default=None,
                          help="also write results as JSON")
+    suite_p.add_argument("--corpus-only", action="store_true",
+                         help="evaluate only the --corpus kernels "
+                              "(skip the 18 built-ins)")
     suite_p.set_defaults(func=_cmd_suite)
 
     sweep_p = sub.add_parser(
@@ -756,7 +1015,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate a workloads x configurations matrix with the "
              "sweep engine",
         parents=[_shared_options(None, "16,64,256", "both", fast=True,
-                                 jobs=True, only=True)])
+                                 jobs=True, only=True),
+                 _corpus_options()])
+    sweep_p.add_argument("--corpus-only", action="store_true",
+                         help="sweep only the --corpus kernels (skip "
+                              "the 18 built-ins)")
     sweep_p.add_argument("--ideal", action="store_true",
                          help="also include the two Ideal columns")
     sweep_p.add_argument("--json", default=None,
@@ -782,7 +1045,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p = sub.add_parser(
         "explore",
         help="multi-objective design-space exploration (Pareto "
-             "frontier over speedup/area/energy)")
+             "frontier over speedup/area/energy)",
+        parents=[_corpus_options()])
+    explore_p.add_argument("--corpus-only", action="store_true",
+                           help="explore over only the --corpus "
+                                "kernels")
     explore_p.add_argument("--space", default=None,
                            help="declarative parameter-space JSON "
                                 "(default: the built-in grid around "
@@ -832,7 +1099,8 @@ def build_parser() -> argparse.ArgumentParser:
         "mpsoc",
         help="explore MPSoC core/array allocations for a traffic mix",
         parents=[_shared_options("C1,C2,C3", "64", "on", fast=True,
-                                 jobs=True)])
+                                 jobs=True),
+                 _corpus_options()])
     mpsoc_p.add_argument("--preset", default=None,
                          choices=("sys-s", "sys-m", "sys-l"),
                          help="area-budget preset derived from the "
@@ -882,7 +1150,8 @@ def build_parser() -> argparse.ArgumentParser:
     mpsoc_p.set_defaults(func=_cmd_mpsoc)
 
     serve_p = sub.add_parser(
-        "serve", help="run the persistent evaluation service")
+        "serve", help="run the persistent evaluation service",
+        parents=[_corpus_options()])
     serve_p.add_argument("--host", default="127.0.0.1")
     serve_p.add_argument("--port", type=int, default=8350)
     serve_p.add_argument("--workers", type=int, default=0,
@@ -908,7 +1177,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet_p = sub.add_parser(
         "fleet",
-        help="run the distributed evaluation fleet coordinator")
+        help="run the distributed evaluation fleet coordinator",
+        parents=[_corpus_options()])
     fleet_p.add_argument("--host", default="127.0.0.1")
     fleet_p.add_argument("--port", type=int, default=8360)
     fleet_p.add_argument("--workers", type=int, default=2,
@@ -957,7 +1227,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p = sub.add_parser(
         "submit", help="submit a job to a running service",
         parents=[_shared_options("C2", "64", "off", fast=True,
-                                 only=True)])
+                                 only=True),
+                 _corpus_options()])
     submit_p.add_argument("kind", choices=("run", "evaluate", "sweep"))
     submit_p.add_argument("target", nargs="?", default=None,
                           help="run jobs: workload name or source path")
@@ -985,6 +1256,104 @@ def build_parser() -> argparse.ArgumentParser:
         "jobs", help="list the jobs of a running service")
     jobs_p.add_argument("--url", default="http://127.0.0.1:8350")
     jobs_p.set_defaults(func=_cmd_jobs)
+
+    corpus_p = sub.add_parser(
+        "corpus",
+        help="generate or inspect seeded synthetic workload corpora")
+    corpus_sub = corpus_p.add_subparsers(dest="action", required=True)
+
+    gen_p = corpus_sub.add_parser(
+        "generate",
+        help="generate a seeded, self-checking kernel corpus")
+    gen_p.add_argument("--seed", type=int, default=0,
+                       help="corpus seed: same seed + knobs => "
+                            "byte-identical manifest")
+    gen_p.add_argument("--count", type=int, default=100,
+                       help="number of kernels to generate")
+    gen_p.add_argument("--profile", default="mixed",
+                       help="knob profile: mixed, dataflow, control, "
+                            "or memory")
+    gen_p.add_argument("--out", default=None,
+                       help="manifest path (default corpus_<seed>.json)")
+    gen_p.add_argument("--names", action="store_true",
+                       help="print kernel names to stdout, one per "
+                            "line (summary goes to stderr) for piping "
+                            "into --only")
+    gen_p.add_argument("--telemetry", default=None,
+                       help="write the corpus.* telemetry event "
+                            "stream as JSONL")
+    gen_p.set_defaults(func=_cmd_corpus_generate)
+
+    list_p = corpus_sub.add_parser(
+        "list", help="tabulate a corpus manifest's kernels")
+    list_p.add_argument("manifest")
+    list_p.set_defaults(func=_cmd_corpus_list)
+
+    cinspect_p = corpus_sub.add_parser(
+        "inspect",
+        help="show one kernel's knobs, fingerprints and source")
+    cinspect_p.add_argument("manifest")
+    cinspect_p.add_argument("kernel")
+    cinspect_p.add_argument("--source", action="store_true",
+                            help="also print the regenerated assembly")
+    cinspect_p.set_defaults(func=_cmd_corpus_inspect)
+
+    traffic_p = sub.add_parser(
+        "traffic",
+        help="replay a seeded traffic mix against a running "
+             "service/fleet",
+        parents=[_shared_options("C2", "64", "on", only=True),
+                 _corpus_options()])
+    traffic_p.add_argument("--url", default="http://127.0.0.1:8350",
+                           help="serve or fleet-coordinator URL")
+    traffic_p.add_argument("--seed", type=int, default=0,
+                           help="schedule seed: same seed + spec => "
+                                "identical request sequence")
+    traffic_p.add_argument("--requests", type=int, default=200,
+                           help="requests to schedule (ignored with "
+                                "--duration)")
+    traffic_p.add_argument("--duration", type=float, default=None,
+                           help="schedule this many seconds of "
+                                "arrivals instead of a fixed count")
+    traffic_p.add_argument("--rate", type=float, default=50.0,
+                           help="mean arrival rate, requests/second")
+    traffic_p.add_argument("--arrival", default="poisson",
+                           choices=("poisson", "burst", "uniform"),
+                           help="open-loop arrival process")
+    traffic_p.add_argument("--burst", type=int, default=8,
+                           help="requests per burst (--arrival burst)")
+    traffic_p.add_argument("--zipf", type=float, default=1.1,
+                           help="Zipf popularity skew (0 = uniform)")
+    traffic_p.add_argument("--hot-rotate", type=float, default=0.0,
+                           help="seconds between hot-set rotations "
+                                "(0 = stable popularity)")
+    traffic_p.add_argument("--priorities", default="0",
+                           help="comma-separated priority mix, drawn "
+                                "uniformly per request")
+    traffic_p.add_argument("--deadline-fraction", type=float,
+                           default=0.0,
+                           help="fraction of requests carrying a "
+                                "server-side deadline")
+    traffic_p.add_argument("--deadline", type=float, default=5.0,
+                           help="the deadline (seconds) for that "
+                                "fraction")
+    traffic_p.add_argument("--no-fast", action="store_true",
+                           help="submit jobs without the "
+                                "block-compiled fast path")
+    traffic_p.add_argument("--poll", type=float, default=0.05,
+                           help="seconds between completion polls")
+    traffic_p.add_argument("--drain-timeout", type=float, default=300.0,
+                           help="abort the replay after this many "
+                                "seconds")
+    traffic_p.add_argument("--dry-run", action="store_true",
+                           help="print the deterministic schedule "
+                                "without contacting a server")
+    traffic_p.add_argument("--json", default=None,
+                           help="write the full replay report as JSON")
+    traffic_p.add_argument("--telemetry", default=None,
+                           help="write the traffic.* telemetry event "
+                                "stream as JSONL")
+    traffic_p.set_defaults(func=_cmd_traffic)
 
     disasm_p = sub.add_parser("disasm", help="disassemble a target")
     disasm_p.add_argument("target")

@@ -1,0 +1,44 @@
+"""`repro.corpus` — the seeded synthetic workload corpus.
+
+Turns workload coverage into a dial: ``generate_corpus(seed, count)``
+emits hundreds of parameterised, self-checking assembly kernels with
+controlled basic-block size, ILP width, branch bias/predictability,
+loop structure and memory intensity, fingerprints them into a versioned
+manifest, and registers them through the :mod:`repro.workloads`
+registry so every consumer — ``suite``, ``sweep``, ``dse``, ``serve``,
+``fleet``, ``mpsoc`` — sees them as ordinary workloads.
+
+CLI: ``repro corpus generate|list|inspect``.  Worker processes inherit
+registered corpora through the ``REPRO_CORPUS`` environment variable
+(see :mod:`repro.workloads`).
+"""
+
+from repro.corpus.generator import GeneratedKernel, GenerationError, \
+    encoding_fingerprint, generate_kernel, generate_source, kernel_name
+from repro.corpus.knobs import PROFILES, CorpusKnobs, KernelKnobs, \
+    draw_kernel_knobs, kernel_seed
+from repro.corpus.manifest import Corpus, CorpusStats, ManifestError, \
+    draw_manifest_knobs, generate_corpus, load_manifest, \
+    rebuild_kernel_source, register_corpus
+
+__all__ = [
+    "Corpus",
+    "CorpusKnobs",
+    "CorpusStats",
+    "GeneratedKernel",
+    "GenerationError",
+    "KernelKnobs",
+    "ManifestError",
+    "PROFILES",
+    "draw_kernel_knobs",
+    "draw_manifest_knobs",
+    "encoding_fingerprint",
+    "generate_corpus",
+    "generate_kernel",
+    "generate_source",
+    "kernel_name",
+    "kernel_seed",
+    "load_manifest",
+    "rebuild_kernel_source",
+    "register_corpus",
+]

@@ -1,0 +1,234 @@
+"""Corpus knobs: the dials that parameterise generated kernels.
+
+Two layers.  :class:`CorpusKnobs` describes a *corpus*: the ranges each
+structural dial may take, named by the profile presets (``mixed``,
+``dataflow``, ``control``, ``memory``).  :class:`KernelKnobs` is one
+concrete draw — every field pinned to a value — derived deterministically
+from ``(corpus seed, kernel index, corpus knobs)``.
+
+Determinism policy: all draws go through :class:`random.Random` seeded
+with integers only (string seeds would hash differently under differing
+``PYTHONHASHSEED``), no iteration over sets/dicts feeds a draw, and every
+fractional knob is quantised to a multiple of 1/16 so values survive
+JSON round-trips byte-exactly across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from random import Random
+from typing import Dict, List, Tuple
+
+#: quantum for fractional knobs — every ratio is a multiple of this.
+FRACTION_QUANTUM = 16
+
+#: mixing constants for deriving per-kernel seeds (Knuth multiplicative
+#: hashing); keeps adjacent kernel indices statistically unrelated.
+_SEED_MIX = 2_654_435_761
+_INDEX_MIX = 40_503
+
+
+def kernel_seed(seed: int, index: int) -> int:
+    """The integer RNG seed for kernel ``index`` of corpus ``seed``."""
+    return ((seed & 0xFFFFFFFF) * _SEED_MIX + (index + 1) * _INDEX_MIX) \
+        & 0x7FFF_FFFF_FFFF
+
+
+def _fraction(rng: Random, lo16: int, hi16: int) -> float:
+    """A quantised fraction in [lo16/16, hi16/16] inclusive."""
+    return rng.randint(lo16, hi16) / FRACTION_QUANTUM
+
+
+@dataclass(frozen=True)
+class CorpusKnobs:
+    """Ranges for one corpus; inclusive ``(lo, hi)`` bounds throughout.
+
+    Fractions are expressed in sixteenths (``bias16``/``pred16``/
+    ``mem16``/``mult16``) so the corpus description itself is integral
+    and round-trips exactly.
+    """
+
+    profile: str = "mixed"
+    block_size: Tuple[int, int] = (4, 20)
+    ilp: Tuple[int, int] = (1, 4)
+    segments: Tuple[int, int] = (1, 3)
+    diamonds: Tuple[int, int] = (0, 3)
+    bias16: Tuple[int, int] = (2, 14)
+    pred16: Tuple[int, int] = (0, 16)
+    loop_depth: Tuple[int, int] = (1, 3)
+    trips: Tuple[int, int] = (2, 12)
+    mem16: Tuple[int, int] = (0, 8)
+    mult16: Tuple[int, int] = (0, 4)
+    strides: Tuple[int, ...] = (1, 2, 4, 8)
+    pool_words: Tuple[int, ...] = (32, 64, 128)
+    #: soft cap on dynamic instructions per kernel; trip counts are
+    #: scaled down until the estimated cost fits.
+    budget: int = 6000
+
+    @classmethod
+    def mixed(cls) -> "CorpusKnobs":
+        return cls()
+
+    @classmethod
+    def dataflow(cls) -> "CorpusKnobs":
+        """Long straight-line blocks, wide ILP, few hard branches."""
+        return cls(profile="dataflow", block_size=(12, 28), ilp=(2, 4),
+                   segments=(2, 4), diamonds=(0, 1), pred16=(12, 16),
+                   loop_depth=(1, 2), mem16=(0, 4), mult16=(1, 6))
+
+    @classmethod
+    def control(cls) -> "CorpusKnobs":
+        """Short blocks, deep nests, many poorly-predictable diamonds."""
+        return cls(profile="control", block_size=(3, 8), ilp=(1, 2),
+                   segments=(1, 2), diamonds=(2, 5), bias16=(5, 11),
+                   pred16=(0, 8), loop_depth=(2, 3), mem16=(0, 4))
+
+    @classmethod
+    def memory(cls) -> "CorpusKnobs":
+        """Load/store dominated, strided and irregular access."""
+        return cls(profile="memory", block_size=(6, 16), ilp=(1, 3),
+                   diamonds=(0, 2), mem16=(6, 12), strides=(1, 2, 4, 8, 16),
+                   pool_words=(64, 128, 256))
+
+    @classmethod
+    def named(cls, profile: str) -> "CorpusKnobs":
+        try:
+            factory = _PROFILES[profile]
+        except KeyError:
+            valid = ", ".join(sorted(_PROFILES))
+            raise ValueError(
+                f"unknown corpus profile {profile!r}: valid profiles are "
+                f"{valid}")
+        return factory()
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        return {key: list(value) if isinstance(value, tuple) else value
+                for key, value in payload.items()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CorpusKnobs":
+        kwargs = dict(payload)
+        for key, value in kwargs.items():
+            if isinstance(value, list):
+                kwargs[key] = tuple(value)
+        return cls(**kwargs)
+
+
+_PROFILES = {
+    "mixed": CorpusKnobs.mixed,
+    "dataflow": CorpusKnobs.dataflow,
+    "control": CorpusKnobs.control,
+    "memory": CorpusKnobs.memory,
+}
+
+PROFILES: List[str] = sorted(_PROFILES)
+
+
+@dataclass(frozen=True)
+class KernelKnobs:
+    """One concrete kernel: every dial pinned.
+
+    ``branch_bias`` is the probability a diamond predicate takes the
+    then-side; ``predictability`` the fraction of diamonds keyed on the
+    (perfectly predictable) loop counter rather than on the xorshift
+    entropy stream; ``mem_intensity`` the fraction of body slots that
+    become loads/stores; ``mult_weight`` the fraction of ALU slots that
+    become multiplies (the array has no divider, so division never
+    appears).
+    """
+
+    block_size: int
+    ilp: int
+    segments: int
+    diamonds: int
+    branch_bias: float
+    predictability: float
+    loop_depth: int
+    trips: Tuple[int, ...]
+    mem_intensity: float
+    mem_stride: int
+    mult_weight: float
+    pool_words: int
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["trips"] = list(self.trips)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "KernelKnobs":
+        kwargs = dict(payload)
+        kwargs["trips"] = tuple(kwargs["trips"])
+        return cls(**kwargs)
+
+    @property
+    def category(self) -> str:
+        """Place the kernel on the paper's dataflow..control axis.
+
+        Mirrors how Table 2 orders workloads: kernels dominated by
+        straight-line arithmetic are 'dataflow', kernels dominated by
+        hard-to-predict branching are 'control'.
+        """
+        hardness = self.diamonds * (1.0 - self.predictability)
+        if hardness <= 0.5 and self.block_size >= 8:
+            return "dataflow"
+        if hardness >= 1.5 or (self.diamonds >= 2 and self.block_size < 8):
+            return "control"
+        return "mid"
+
+
+def draw_kernel_knobs(seed: int, index: int,
+                      corpus: CorpusKnobs) -> KernelKnobs:
+    """Deterministically pin every dial for kernel ``index``.
+
+    Uses a dedicated :class:`random.Random` stream per kernel (see
+    :func:`kernel_seed`) so inserting or dropping kernels never shifts
+    any other kernel's draw.
+    """
+    rng = Random(kernel_seed(seed, index))
+    block_size = rng.randint(*corpus.block_size)
+    ilp = rng.randint(*corpus.ilp)
+    segments = rng.randint(*corpus.segments)
+    diamonds = rng.randint(*corpus.diamonds)
+    branch_bias = _fraction(rng, *corpus.bias16)
+    predictability = min(1.0, _fraction(rng, *corpus.pred16))
+    loop_depth = rng.randint(*corpus.loop_depth)
+    trips = tuple(rng.randint(*corpus.trips) for _ in range(loop_depth))
+    mem_intensity = min(1.0, _fraction(rng, *corpus.mem16))
+    mem_stride = rng.choice(list(corpus.strides))
+    mult_weight = min(1.0, _fraction(rng, *corpus.mult16))
+    pool_words = rng.choice(list(corpus.pool_words))
+
+    # Scale the loop nest until the estimated dynamic cost fits the
+    # corpus budget: the generator must stay cheap enough to self-check
+    # hundreds of kernels through the interpreter at generation time.
+    body_cost = segments * (block_size + 4) + diamonds * 8 \
+        + max(1, int(round(segments * block_size * mem_intensity))) * 4
+    trips = _fit_budget(trips, body_cost, corpus.budget)
+    return KernelKnobs(
+        block_size=block_size, ilp=ilp, segments=segments,
+        diamonds=diamonds, branch_bias=branch_bias,
+        predictability=predictability, loop_depth=len(trips), trips=trips,
+        mem_intensity=mem_intensity, mem_stride=mem_stride,
+        mult_weight=mult_weight, pool_words=pool_words)
+
+
+def _fit_budget(trips: Tuple[int, ...], body_cost: int,
+                budget: int) -> Tuple[int, ...]:
+    """Shrink the largest trip counts until the nest fits ``budget``."""
+    counts = list(trips)
+    def cost() -> int:
+        total = body_cost
+        for t in reversed(counts):
+            total = t * (total + 3)
+        return total
+    while cost() > budget:
+        widest = counts.index(max(counts))
+        if counts[widest] <= 2:
+            if len(counts) > 1:
+                counts.pop(0)
+                continue
+            break
+        counts[widest] -= 1
+    return tuple(counts)

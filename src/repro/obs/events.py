@@ -66,6 +66,16 @@ EVENT_TYPES = frozenset({
     # MPSoC scenario layer (repro.mpsoc)
     "mpsoc.space_pruned",       # budget feasibility filtered the space
     "mpsoc.allocation_scored",  # one allocation dispatched + composed
+    # synthetic workload corpus (repro.corpus)
+    "corpus.kernel_generated",  # one kernel emitted + self-checked
+    "corpus.manifest_written",  # a corpus manifest reached disk
+    "corpus.registered",        # a manifest's kernels joined the registry
+    # traffic replay (repro.traffic)
+    "traffic.request_submitted",  # one scheduled request was submitted
+    "traffic.request_finished",   # a request reached a terminal state
+    "traffic.request_shed",       # backpressure rejected a submission
+    "traffic.hot_rotated",        # the Zipf hot set rotated
+    "traffic.replay_done",        # a replay finished; summary follows
 })
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))

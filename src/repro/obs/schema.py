@@ -21,6 +21,8 @@ Namespaces:
 - ``dse.*``        design-space exploration budget and frontier
 - ``fleet.*``      coordinator sharding, failover and load shedding
 - ``mpsoc.*``      MPSoC scenario allocation, dispatch and composition
+- ``corpus.*``     synthetic kernel generation and self-checking
+- ``traffic.*``    traffic-mix replay against serve/fleet endpoints
 """
 
 from __future__ import annotations
@@ -168,6 +170,39 @@ MPSOC_TIMERS = {
     "mpsoc.compose_seconds": "compose_seconds",
 }
 
+#: carrier: :class:`repro.corpus.manifest.CorpusStats`.
+CORPUS_COUNTERS = {
+    "corpus.kernels_generated": "kernels_generated",
+    "corpus.kernels_verified": "kernels_verified",
+    "corpus.verify_failures": "verify_failures",
+    "corpus.kernels_registered": "kernels_registered",
+    "corpus.dynamic_instructions": "dynamic_instructions",
+}
+
+CORPUS_TIMERS = {
+    "corpus.generate_seconds": "generate_seconds",
+    "corpus.verify_seconds": "verify_seconds",
+}
+
+#: carrier: :class:`repro.traffic.replay.TrafficStats`.
+TRAFFIC_COUNTERS = {
+    "traffic.requests_planned": "requests_planned",
+    "traffic.requests_submitted": "requests_submitted",
+    "traffic.requests_completed": "requests_completed",
+    "traffic.requests_failed": "requests_failed",
+    "traffic.requests_shed": "requests_shed",
+    "traffic.requests_timed_out": "requests_timed_out",
+    "traffic.hot_rotations": "hot_rotations",
+    "traffic.unique_workloads": "unique_workloads",
+    "traffic.max_outstanding": "max_outstanding",
+}
+
+TRAFFIC_TIMERS = {
+    "traffic.run_seconds": "run_seconds",
+    "traffic.submit_seconds": "submit_seconds",
+    "traffic.poll_seconds": "poll_seconds",
+}
+
 
 def _collect(obj, mapping: Dict[str, str]) -> Dict[str, int]:
     return {name: getattr(obj, attr) for name, attr in mapping.items()}
@@ -246,3 +281,23 @@ def mpsoc_counters(stats) -> Dict[str, int]:
 def mpsoc_timers(stats) -> Dict[str, float]:
     """Scenario-layer timer values of an ``MpsocStats``."""
     return _collect(stats, MPSOC_TIMERS)
+
+
+def corpus_counters(stats) -> Dict[str, int]:
+    """Canonical counters of a :class:`repro.corpus.manifest.CorpusStats`."""
+    return _collect(stats, CORPUS_COUNTERS)
+
+
+def corpus_timers(stats) -> Dict[str, float]:
+    """Canonical timer values of a ``CorpusStats``."""
+    return _collect(stats, CORPUS_TIMERS)
+
+
+def traffic_counters(stats) -> Dict[str, int]:
+    """Canonical counters of a :class:`repro.traffic.replay.TrafficStats`."""
+    return _collect(stats, TRAFFIC_COUNTERS)
+
+
+def traffic_timers(stats) -> Dict[str, float]:
+    """Canonical timer values of a ``TrafficStats``."""
+    return _collect(stats, TRAFFIC_TIMERS)

@@ -1,0 +1,30 @@
+"""`repro.traffic` — seeded traffic-mix replay against serve/fleet.
+
+Builds fully deterministic request schedules (Zipf-skewed popularity,
+hot-set rotation, Poisson/burst/uniform open-loop arrivals,
+priority/deadline mixes) and replays them open-loop against any /v1
+endpoint — a single :mod:`repro.serve` service or a
+:mod:`repro.fleet` coordinator — reporting latency percentiles,
+batch-coalescing hit rate and shed rate from real telemetry.
+
+CLI: ``repro traffic``.
+"""
+
+from repro.traffic.replay import SHED_CODES, TrafficReport, TrafficStats, \
+    replay_traffic
+from repro.traffic.schedule import ARRIVALS, ScheduledRequest, TrafficSpec, \
+    arrival_times, build_schedule, popularity, zipf_weights
+
+__all__ = [
+    "ARRIVALS",
+    "SHED_CODES",
+    "ScheduledRequest",
+    "TrafficReport",
+    "TrafficSpec",
+    "TrafficStats",
+    "arrival_times",
+    "build_schedule",
+    "popularity",
+    "replay_traffic",
+    "zipf_weights",
+]

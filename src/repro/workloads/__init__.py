@@ -1,19 +1,34 @@
-"""The 18 MiBench-analog workloads of Table 2.
+"""The benchmark workload registry.
 
-MiBench binaries cannot be compiled here (no MIPS gcc, no network), so
-every benchmark is re-implemented in mini-C with the same algorithmic
+Built in are the 18 MiBench-analog workloads of Table 2.  MiBench
+binaries cannot be compiled here (no MIPS gcc, no network), so every
+benchmark is re-implemented in mini-C with the same algorithmic
 structure as the MiBench program it stands in for: the same kind of
 kernels, table usage, branch behaviour and data/control balance, on
 reduced inputs sized for pure-Python simulation (see DESIGN.md).
 
+The registry is *open*: generated kernels — most importantly the
+synthetic corpus of :mod:`repro.corpus` — register through
+:func:`register_workload` and become indistinguishable from the
+built-ins: ``suite``, ``sweep``, ``dse``, ``serve``, ``fleet`` and
+``mpsoc`` all consume them through the same :func:`get_workload` /
+:func:`run_workload` path.  Worker *processes* (sweep ``--jobs`` pools,
+serve batch workers, fleet worker subprocesses) pick registered corpora
+up through the ``REPRO_CORPUS`` environment variable — a
+``os.pathsep``-separated list of corpus manifest paths loaded lazily on
+first registry access — so a parent that registers a corpus and then
+fans out gets byte-identical results from every process.
+
 Each workload carries the paper's row name and the paper's
 dataflow/control ordering from Table 2.  :func:`load_workload` compiles
-and caches the program; :func:`run_workload` additionally executes it and
-caches the basic-block trace used by the benchmark harnesses.
+(mini-C) or assembles (generated kernels) and caches the program;
+:func:`run_workload` additionally executes it and caches the
+basic-block trace used by the benchmark harnesses.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -21,10 +36,21 @@ from repro.asm.program import Program
 from repro.minic import compile_to_program
 from repro.sim import RunResult, run_program
 
+#: environment variable naming corpus manifests to auto-register
+#: (``os.pathsep``-separated paths); how worker processes inherit the
+#: parent's registered corpora.
+CORPUS_ENV = "REPRO_CORPUS"
+
 
 @dataclass(frozen=True)
 class Workload:
-    """One benchmark: mini-C source plus metadata."""
+    """One benchmark: source plus metadata.
+
+    ``kind`` selects the toolchain: ``"minic"`` sources compile through
+    :func:`repro.minic.compile_to_program`, ``"asm"`` sources assemble
+    through :func:`repro.asm.assemble` (the corpus generator emits
+    assembly directly).
+    """
 
     name: str
     paper_name: str
@@ -33,6 +59,7 @@ class Workload:
     category: str
     source: str
     description: str = ""
+    kind: str = "minic"
 
 
 def _collect() -> List[Workload]:
@@ -75,35 +102,125 @@ def _collect() -> List[Workload]:
 
 
 _WORKLOADS: Optional[List[Workload]] = None
+#: registered (non-built-in) workloads, in registration order.
+_REGISTERED: Dict[str, Workload] = {}
 _PROGRAMS: Dict[str, Program] = {}
 _RUNS: Dict[str, RunResult] = {}
+#: the REPRO_CORPUS value already loaded (None = not yet examined).
+_ENV_CORPUS_LOADED: Optional[str] = None
 
 
-def all_workloads() -> List[Workload]:
-    """All 18 workloads in Table 2 order."""
+def builtin_workloads() -> List[Workload]:
+    """The 18 Table 2 workloads, without any registered extras."""
     global _WORKLOADS
     if _WORKLOADS is None:
         _WORKLOADS = _collect()
     return _WORKLOADS
 
 
+def _load_env_corpus() -> None:
+    """Register every manifest named by ``REPRO_CORPUS``, once.
+
+    Re-examined whenever the variable's value changes (the CLI sets it
+    before fanning out so subprocesses inherit the same corpora).
+    """
+    global _ENV_CORPUS_LOADED
+    value = os.environ.get(CORPUS_ENV, "")
+    if value == (_ENV_CORPUS_LOADED or ""):
+        return
+    _ENV_CORPUS_LOADED = value
+    if not value:
+        return
+    from repro.corpus import load_manifest, register_corpus
+
+    for path in value.split(os.pathsep):
+        if path.strip():
+            register_corpus(load_manifest(path.strip()))
+
+
+def all_workloads() -> List[Workload]:
+    """All registered workloads: the 18 of Table 2, then extras in
+    registration order."""
+    _load_env_corpus()
+    return builtin_workloads() + list(_REGISTERED.values())
+
+
 def workload_names() -> List[str]:
     return [w.name for w in all_workloads()]
 
 
-def get_workload(name: str) -> Workload:
-    for workload in all_workloads():
+def register_workload(workload: Workload) -> Workload:
+    """Add one workload to the registry.
+
+    Re-registering the same name with identical (kind, source) is a
+    no-op — corpora are loaded idempotently from several entry points —
+    but a name collision with *different* content raises, because every
+    downstream cache (programs, runs, artifacts, fleet shards) keys on
+    the name.
+    """
+    existing = _find(workload.name)
+    if existing is not None:
+        if (existing.kind, existing.source) == (workload.kind,
+                                                workload.source):
+            return existing
+        raise ValueError(
+            f"workload name {workload.name!r} is already registered "
+            f"with different content")
+    _REGISTERED[workload.name] = workload
+    return workload
+
+
+def unregister_generated() -> None:
+    """Drop every registered (non-built-in) workload and its caches.
+
+    Test isolation helper: the built-ins and their cached runs are
+    untouched.
+    """
+    global _ENV_CORPUS_LOADED
+    for name in list(_REGISTERED):
+        _PROGRAMS.pop(name, None)
+        _RUNS.pop(name, None)
+    _REGISTERED.clear()
+    _ENV_CORPUS_LOADED = None if os.environ.get(CORPUS_ENV) else ""
+
+
+def _find(name: str) -> Optional[Workload]:
+    _load_env_corpus()
+    registered = _REGISTERED.get(name)
+    if registered is not None:
+        return registered
+    for workload in builtin_workloads():
         if workload.name == name:
             return workload
-    raise KeyError(f"unknown workload {name!r}")
+    return None
+
+
+def get_workload(name: str) -> Workload:
+    """The workload registered under ``name``.
+
+    Raises :class:`ValueError` naming the valid workloads on an unknown
+    name (mirroring the ``paper_system`` helpful-error precedent).
+    """
+    workload = _find(name)
+    if workload is None:
+        valid = ", ".join(workload_names())
+        raise ValueError(
+            f"unknown workload {name!r}: valid workload names are "
+            f"{valid}")
+    return workload
 
 
 def load_workload(name: str) -> Program:
-    """Compile (with caching) one workload to a loadable program."""
+    """Compile or assemble (with caching) one workload."""
     program = _PROGRAMS.get(name)
     if program is None:
         workload = get_workload(name)
-        program = compile_to_program(workload.source, source_name=name)
+        if workload.kind == "asm":
+            from repro.asm import assemble
+
+            program = assemble(workload.source)
+        else:
+            program = compile_to_program(workload.source, source_name=name)
         _PROGRAMS[name] = program
     return program
 

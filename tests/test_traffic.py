@@ -1,0 +1,302 @@
+"""The seeded traffic replayer (:mod:`repro.traffic`).
+
+Four families of guarantees:
+
+1. Schedules are pure functions of ``(spec, names)``: deterministic,
+   Zipf-shaped, rotation-aware, with the three arrival processes
+   behaving as advertised and bad specs rejected loudly.
+2. Report arithmetic: percentiles, coalescing, shed rate and throughput
+   compute exactly from the collected samples.
+3. Live replay: against a real in-process serve endpoint the replayer
+   completes every request, measures scheduled-arrival latency, and
+   diffs the server's own ``serve.*`` counters for coalescing; a
+   saturated service shows up as shed, not as silent failure.
+4. Observability: the ``traffic.*`` counters/timers/events live in the
+   closed :mod:`repro.obs` schema.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus import generate_corpus, register_corpus
+from repro.obs import EVENT_TYPES, Telemetry, validate_jsonl
+from repro.serve import EvalService, ServeClient, start_http
+from repro.traffic import (
+    ARRIVALS,
+    SHED_CODES,
+    TrafficReport,
+    TrafficSpec,
+    TrafficStats,
+    arrival_times,
+    build_schedule,
+    popularity,
+    replay_traffic,
+    zipf_weights,
+)
+from repro.workloads import unregister_generated
+
+NAMES = tuple(f"wl{i:02d}" for i in range(12))
+
+
+# ----------------------------------------------------------------------
+# 1. Deterministic schedules.
+# ----------------------------------------------------------------------
+def test_schedule_is_a_pure_function_of_spec_and_names():
+    spec = TrafficSpec(seed=4, requests=120, rate=100.0,
+                       hot_rotate=0.25, priorities=(0, 5),
+                       deadline_fraction=0.25)
+    first = build_schedule(spec, NAMES)
+    assert build_schedule(spec, NAMES) == first
+    assert len(first) == 120
+    assert [r.index for r in first] == list(range(120))
+    assert all(first[i].at <= first[i + 1].at
+               for i in range(len(first) - 1))
+    assert build_schedule(TrafficSpec(seed=5, requests=120, rate=100.0),
+                          NAMES) != first
+
+
+def test_zipf_skew_concentrates_and_uniform_spreads():
+    flat = popularity(build_schedule(
+        TrafficSpec(seed=1, requests=600, zipf_s=0.0), NAMES))
+    skewed = popularity(build_schedule(
+        TrafficSpec(seed=1, requests=600, zipf_s=1.5), NAMES))
+    assert max(skewed.values()) > max(flat.values())
+    # the analytic head mass: rank 0 carries w0/sum(w) of the traffic
+    weights = zipf_weights(len(NAMES), 1.5)
+    head_share = weights[0] / sum(weights)
+    assert max(skewed.values()) > 0.7 * head_share * 600
+    # uniform traffic touches everything
+    assert len(flat) == len(NAMES)
+
+
+def test_hot_rotation_changes_the_head_but_not_the_shape():
+    spec = TrafficSpec(seed=2, requests=400, rate=400.0, zipf_s=1.3,
+                       hot_rotate=0.25)
+    schedule = build_schedule(spec, NAMES)
+    epochs = {r.epoch for r in schedule}
+    assert len(epochs) > 1
+    heads = {}
+    for epoch in epochs:
+        requests = [r for r in schedule if r.epoch == epoch]
+        heads[epoch] = popularity(requests)
+    # at least two epochs crown a different most-popular workload
+    assert len({next(iter(counts)) for counts in heads.values()}) > 1
+    # without rotation there is exactly one epoch
+    still = build_schedule(TrafficSpec(seed=2, requests=50), NAMES)
+    assert {r.epoch for r in still} == {0}
+
+
+def test_arrival_processes_have_their_shapes():
+    uniform = arrival_times(TrafficSpec(arrival="uniform", requests=10,
+                                        rate=100.0))
+    gaps = [round(b - a, 9) for a, b in zip(uniform, uniform[1:])]
+    assert gaps == [round(1.0 / 100.0, 9)] * 9
+
+    burst = arrival_times(TrafficSpec(arrival="burst", requests=32,
+                                      burst=8, rate=100.0))
+    assert len(burst) == 32
+    assert len(set(burst)) == 4  # 4 bursts of 8 identical stamps
+
+    poisson = arrival_times(TrafficSpec(arrival="poisson",
+                                        requests=500, rate=100.0))
+    assert len(poisson) == 500
+    mean_gap = poisson[-1] / len(poisson)
+    assert 0.005 < mean_gap < 0.02  # around 1/rate
+
+    timed = arrival_times(TrafficSpec(arrival="uniform", duration=0.5,
+                                      rate=100.0))
+    assert 48 <= len(timed) <= 50 and timed[-1] <= 0.5
+
+
+def test_bad_specs_are_rejected():
+    assert ARRIVALS == ("poisson", "burst", "uniform")
+    with pytest.raises(ValueError, match="unknown arrival"):
+        arrival_times(TrafficSpec(arrival="fractal"))
+    with pytest.raises(ValueError, match="rate"):
+        arrival_times(TrafficSpec(rate=0.0))
+    with pytest.raises(ValueError, match="at least one workload"):
+        build_schedule(TrafficSpec(), [])
+
+
+def test_spec_round_trips_through_dict():
+    spec = TrafficSpec(seed=9, requests=10, priorities=(0, 3, 7),
+                       deadline_fraction=0.5, arrival="burst")
+    assert TrafficSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_priorities_and_deadlines_follow_the_mix():
+    spec = TrafficSpec(seed=6, requests=400, priorities=(1, 9),
+                       deadline_fraction=0.5, deadline=2.5)
+    schedule = build_schedule(spec, NAMES)
+    assert {r.priority for r in schedule} == {1, 9}
+    with_deadline = [r for r in schedule if r.deadline is not None]
+    assert all(r.deadline == 2.5 for r in with_deadline)
+    assert 100 < len(with_deadline) < 300  # about half
+
+
+# ----------------------------------------------------------------------
+# 2. Report arithmetic.
+# ----------------------------------------------------------------------
+def test_report_percentiles_coalescing_and_rates():
+    stats = TrafficStats(requests_planned=10, requests_completed=8,
+                         requests_shed=2, run_seconds=4.0)
+    report = TrafficReport(
+        spec=TrafficSpec(), stats=stats,
+        latencies=[0.001 * (i + 1) for i in range(8)],
+        batches=3, batched_jobs=8)
+    assert report.percentile(0.0) == 0.001
+    assert report.percentile(1.0) == 0.008
+    assert report.percentile(0.5) == pytest.approx(0.005, abs=0.001)
+    assert report.coalescing_rate == pytest.approx(1 - 3 / 8)
+    assert report.shed_rate == pytest.approx(0.2)
+    assert report.throughput_rps == pytest.approx(2.0)
+    summary = json.loads(report.to_json())
+    assert summary["latency_p99_ms"] == 8.0
+    assert summary["shed"] == 2
+    # no samples, no batches: all rates collapse to zero
+    empty = TrafficReport(spec=TrafficSpec(), stats=TrafficStats())
+    assert empty.percentile(0.99) == 0.0
+    assert empty.coalescing_rate == 0.0 and empty.shed_rate == 0.0
+    assert empty.throughput_rps == 0.0
+
+
+# ----------------------------------------------------------------------
+# 3. Live replay against a real in-process service.
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def corpus_service():
+    names = register_corpus(generate_corpus(31, 6))
+    svc = EvalService(workers=0, cache_root=None, batch_window=0.01)
+    svc.start()
+    server, _ = start_http(svc)
+    client = ServeClient("http://%s:%s" % server.server_address[:2],
+                         timeout=120.0)
+    yield client, names, svc
+    if not svc._stopped:
+        svc.stop(drain=False)
+    server.shutdown()
+    unregister_generated()
+
+
+def test_replay_completes_and_measures(corpus_service):
+    client, names, _ = corpus_service
+    spec = TrafficSpec(seed=3, requests=30, rate=300.0, zipf_s=1.1,
+                       hot_rotate=0.05, priorities=(0, 5))
+    tel = Telemetry()
+    report = replay_traffic(client, spec, names, telemetry=tel,
+                            poll=0.02, drain_timeout=120.0)
+    assert report.stats.requests_planned == 30
+    assert report.stats.requests_submitted == 30
+    assert report.stats.requests_completed == 30
+    assert report.stats.requests_failed == 0
+    assert report.stats.requests_shed == 0
+    assert len(report.latencies) == 30
+    assert all(latency > 0 for latency in report.latencies)
+    assert report.percentile(0.99) >= report.percentile(0.5) > 0
+    assert sum(report.popularity.values()) == 30
+    assert report.stats.unique_workloads == len(report.popularity)
+    # the server really coalesced some of the burst into shared batches
+    assert report.batched_jobs >= report.batches > 0
+    snapshot = tel.snapshot()
+    assert snapshot.counters["traffic.requests_completed"] == 30
+    assert snapshot.counters["traffic.hot_rotations"] \
+        == report.stats.hot_rotations > 0
+    assert snapshot.timers["traffic.run_seconds"] > 0
+
+
+def test_replay_is_deterministic_in_plan_not_in_clock(corpus_service):
+    """Two replays of one spec ask for the identical request sequence;
+    only wall-clock latencies differ."""
+    client, names, _ = corpus_service
+    spec = TrafficSpec(seed=8, requests=12, rate=600.0)
+    first = replay_traffic(client, spec, names, poll=0.02)
+    second = replay_traffic(client, spec, names, poll=0.02)
+    assert first.popularity == second.popularity
+    assert first.stats.requests_completed \
+        == second.stats.requests_completed == 12
+
+
+def test_saturated_service_sheds_instead_of_failing():
+    names = register_corpus(generate_corpus(37, 2))
+    svc = EvalService(workers=0, cache_root=None, capacity=2,
+                      batch_window=0.0)
+    svc.start()
+    server, _ = start_http(svc)
+    client = ServeClient("http://%s:%s" % server.server_address[:2],
+                         timeout=120.0)
+    try:
+        client.pause()  # nothing drains: the queue fills, then sheds
+        spec = TrafficSpec(seed=1, requests=8, rate=2000.0)
+        tel = Telemetry()
+        # short drain: the paused queue never empties, so the two
+        # accepted jobs are accounted as timed out when the window ends
+        report = replay_traffic(client, spec, names, telemetry=tel,
+                                poll=0.02, drain_timeout=2.0)
+        assert report.stats.requests_shed > 0
+        assert report.shed_rate == pytest.approx(
+            report.stats.requests_shed / 8)
+        accounted = (report.stats.requests_completed
+                     + report.stats.requests_failed
+                     + report.stats.requests_shed
+                     + report.stats.requests_timed_out)
+        assert accounted == report.stats.requests_planned == 8
+        assert "queue_full" in SHED_CODES
+        shed_events = [e for e in (tel.events or [])
+                       if e["type"] == "traffic.request_shed"]
+        assert shed_events and all(e["code"] in SHED_CODES
+                                   for e in shed_events)
+    finally:
+        svc.stop(drain=False)
+        server.shutdown()
+        unregister_generated()
+
+
+# ----------------------------------------------------------------------
+# 4. Observability: the traffic.* namespace is closed and populated.
+# ----------------------------------------------------------------------
+def test_traffic_namespace_events_are_closed():
+    traffic_types = {t for t in EVENT_TYPES if t.startswith("traffic.")}
+    assert traffic_types == {"traffic.request_submitted",
+                             "traffic.request_finished",
+                             "traffic.request_shed",
+                             "traffic.hot_rotated",
+                             "traffic.replay_done"}
+    tel = Telemetry()
+    with pytest.raises(ValueError, match="unknown telemetry event"):
+        tel.emit("traffic.request_teleported", index=0)
+
+
+def test_traffic_collectors_map_stats_onto_schema(tmp_path,
+                                                  corpus_service):
+    from repro.obs.schema import (
+        TRAFFIC_COUNTERS,
+        TRAFFIC_TIMERS,
+        traffic_counters,
+        traffic_timers,
+    )
+
+    stats = TrafficStats(requests_planned=5, requests_completed=4,
+                         requests_shed=1, run_seconds=1.5,
+                         submit_seconds=0.25)
+    counters = traffic_counters(stats)
+    assert counters["traffic.requests_planned"] == 5
+    assert counters["traffic.requests_shed"] == 1
+    assert traffic_timers(stats)["traffic.submit_seconds"] == 0.25
+    for mapping in (TRAFFIC_COUNTERS, TRAFFIC_TIMERS):
+        for name, attr in mapping.items():
+            assert name.startswith("traffic.")
+            assert hasattr(stats, attr)
+
+    # a real replay's event stream validates against the closed schema
+    client, names, _ = corpus_service
+    tel = Telemetry()
+    replay_traffic(client, TrafficSpec(seed=2, requests=8, rate=400.0),
+                   names, telemetry=tel, poll=0.02)
+    path = tmp_path / "traffic_events.jsonl"
+    tel.write_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert validate_jsonl(lines) == []
+    types = {json.loads(line)["type"] for line in lines}
+    assert {"traffic.request_submitted", "traffic.request_finished",
+            "traffic.replay_done"} <= types

@@ -61,8 +61,17 @@ def test_get_workload_and_metadata():
     workload = get_workload("sha")
     assert workload.paper_name == "SHA"
     assert workload.category == "dataflow"
-    with pytest.raises(KeyError):
+
+
+def test_get_workload_unknown_name_lists_valid_names():
+    with pytest.raises(ValueError) as excinfo:
         get_workload("nonexistent")
+    message = str(excinfo.value)
+    assert "nonexistent" in message
+    # the error enumerates every valid name, like the paper_system
+    # helpful-error precedent
+    for name in workload_names():
+        assert name in message
 
 
 def test_dataflow_control_ordering_visible_in_block_sizes():
