@@ -42,6 +42,7 @@ facade above is the supported surface.
 """
 
 from repro.api import (
+    DimParams,
     RunComparison,
     SystemSpec,
     Target,
@@ -67,6 +68,7 @@ __version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    "DimParams",
     "RunComparison",
     "SystemSpec",
     "Target",

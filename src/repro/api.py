@@ -57,6 +57,7 @@ from repro.minic import compile_to_program
 from repro.obs import Telemetry
 from repro.sim.cpu import RunResult, run_program
 from repro.system.artifacts import ArtifactCache
+from repro.dim.params import DimParams
 from repro.system.config import SystemConfig, SystemSpec
 from repro.system.coupled import CoupledRunResult, run_coupled
 from repro.system.energy import EnergyParams, energy_ratio
@@ -299,6 +300,7 @@ def traffic(client, spec=None, names: Optional[Sequence[str]] = None,
 
 __all__ = [
     "Target",
+    "DimParams",
     "RunComparison",
     "SystemSpec",
     "build_config",

@@ -182,6 +182,61 @@ class Allocator:
         return None
 
     # ------------------------------------------------------------------
+    # Dual-path placement support.  The two sides of a predicated merge
+    # execute under mutually exclusive predicates, so neither observes
+    # the other's register writes or memory operations — but they share
+    # the array's lines, functional units and immediate slots.  The
+    # translator brackets each side with ``fork_dataflow`` /
+    # ``join_dataflow``: resource state keeps accumulating across the
+    # fork while the dependence/IO view is rewound to the fork point.
+    # ------------------------------------------------------------------
+    def fork_dataflow(self) -> Tuple:
+        """Capture the dependence/IO view at the predicated branch."""
+        return (
+            dict(self._writer_line),
+            set(self._written),
+            set(self._inputs),
+            self._last_store_line,
+            self._last_mem_line,
+            set(self._spec_written),
+        )
+
+    def rewind_dataflow(self, mark: Tuple) -> Tuple:
+        """Reset the dependence/IO view to ``mark``; returns the view
+        being replaced (the first path's, for ``join_dataflow``)."""
+        current = self.fork_dataflow()
+        (writer_line, written, inputs, last_store, last_mem,
+         spec_written) = mark
+        self._writer_line = dict(writer_line)
+        self._written = set(written)
+        self._inputs = set(inputs)
+        self._last_store_line = last_store
+        self._last_mem_line = last_mem
+        self._spec_written = set(spec_written)
+        return current
+
+    def join_dataflow(self, view: Tuple) -> None:
+        """Union a rewound path's IO effects back into the allocator.
+
+        Inputs of both paths are fetched at reconfiguration; written
+        slots of both paths are potential (gated) write-backs, so the
+        speculative-output drain prices the union.
+        """
+        writer_line, written, inputs, _store, _mem, spec_written = view
+        self._inputs |= inputs
+        self._written |= written
+        self._spec_written |= spec_written
+        for slot, line in writer_line.items():
+            mine = self._writer_line.get(slot)
+            if mine is None or line > mine:
+                self._writer_line[slot] = line
+
+    @property
+    def input_count(self) -> int:
+        """Distinct register-file operands the configuration fetches."""
+        return len(self._inputs)
+
+    # ------------------------------------------------------------------
     def mark_nonspec_boundary(self) -> None:
         """Record that everything placed so far commits unconditionally.
 

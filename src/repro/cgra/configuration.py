@@ -41,6 +41,22 @@ class Configuration:
     The runtime-mutable fields track the speculation health of this entry:
     ``misspec_count`` counts wrong-direction executions since the last
     (re)build and triggers a flush at the engine's threshold.
+
+    ``kind`` selects the execution semantics:
+
+    - ``"linear"`` — the paper's translator: one pass over ``blocks``,
+      exiting at the first mis-speculated merged branch.
+    - ``"loop"`` — every block includes its terminator and the final
+      terminator is a back-edge to ``start_pc``; the array iterates the
+      whole chain, paying ``loop_check_cycles`` per trip to resolve the
+      back-edge, until the back-edge resolves against ``expected_taken``
+      (a clean exit) or an interior merged branch mis-speculates.
+    - ``"dual"`` — the final block's conditional terminator is
+      *predicated* (its ``expected_taken`` is None): both successors'
+      covered prefixes (``dual_taken`` / ``dual_fallthrough``) are
+      placed, write-backs gated on the resolved direction at a cost of
+      ``gate_cycles`` per execution; the losing path is squashed without
+      any mis-speculation penalty.
     """
 
     start_pc: int
@@ -49,6 +65,16 @@ class Configuration:
     shape: ArrayShape
     #: False once the translator decided no further blocks can be merged.
     extendable: bool = True
+    #: 'linear', 'loop' or 'dual' (see class docstring).
+    kind: str = "linear"
+    #: dual-path merge: the covered prefix of each successor (the
+    #: terminators of these blocks are never included).
+    dual_taken: Optional[ConfigBlock] = None
+    dual_fallthrough: Optional[ConfigBlock] = None
+    #: per-execution predication-gating cost of a dual configuration.
+    gate_cycles: int = 0
+    #: per-trip back-edge resolution cost of a loop configuration.
+    loop_check_cycles: int = 0
     #: runtime state
     misspec_count: int = 0
     hits: int = 0
@@ -56,15 +82,28 @@ class Configuration:
 
     @property
     def exec_cycles(self) -> int:
-        """Array busy time per execution.
+        """Array busy time per execution (first trip for loops).
 
         Line delays plus the post-resolution drain of speculative
         live-outs through the register-file write ports (non-speculative
         results write back overlapped with execution, Section 4.2).
+        Dual-path configurations additionally pay the write-back gate.
         """
         spec_wb = -(-self.result.speculative_outputs
                     // self.shape.rf_write_ports)
-        return self.result.exec_cycles + spec_wb
+        return self.result.exec_cycles + spec_wb + self.gate_cycles
+
+    @property
+    def trip_cycles(self) -> int:
+        """Marginal array time of one additional loop trip.
+
+        Carried operands stay routed inside the array (the rotating
+        map), so a trip pays the dataflow depth but neither the
+        reconfiguration fetch nor the speculative write-back drain —
+        those are paid once per execution.  The per-trip exit check is
+        charged separately (``loop_check_cycles``).
+        """
+        return self.result.exec_cycles
 
     @property
     def reconfiguration_cycles(self) -> int:
@@ -72,12 +111,20 @@ class Configuration:
 
     @property
     def covered_instructions(self) -> int:
-        """Total instructions executed by the array on a fully-correct run."""
+        """Total instructions executed by the array on a fully-correct run.
+
+        For a dual-path configuration only the guaranteed side counts:
+        ``min`` of the two path prefixes, since exactly one commits per
+        execution and which one is unknown at build time.
+        """
         total = 0
         for cfg_block in self.blocks:
             total += cfg_block.covered
             if cfg_block.includes_terminator:
                 total += 1
+        if self.kind == "dual":
+            total += min(self.dual_taken.covered,
+                         self.dual_fallthrough.covered)
         return total
 
     @property
@@ -91,14 +138,24 @@ class Configuration:
         return len(self.blocks) > 1
 
     def describe(self) -> str:
-        parts = [f"config@0x{self.start_pc:08x}:"]
+        head = "" if self.kind == "linear" else f" [{self.kind}]"
+        parts = [f"config@0x{self.start_pc:08x}:{head}"]
         for cfg_block in self.blocks:
             term = ""
             if cfg_block.includes_terminator:
-                term = " +T" if cfg_block.expected_taken else " +NT"
+                if cfg_block.expected_taken is None:
+                    term = " +PRED"
+                else:
+                    term = " +T" if cfg_block.expected_taken else " +NT"
             parts.append(
                 f"  block 0x{cfg_block.block.start_pc:08x} "
                 f"covers {cfg_block.covered}/{cfg_block.body_len}{term}")
+        for label, side in (("taken", self.dual_taken),
+                            ("fallthrough", self.dual_fallthrough)):
+            if side is not None:
+                parts.append(
+                    f"  {label} path 0x{side.block.start_pc:08x} "
+                    f"covers {side.covered}/{side.body_len}")
         res = self.result
         parts.append(
             f"  {res.num_instructions} ops on {res.lines_used} lines, "

@@ -117,10 +117,11 @@ from repro.api import SystemSpec, load_target
 from repro.asm.program import Program
 from repro.cgra.render import render_configuration
 from repro.dim import BimodalPredictor, Translator
+from repro.dim.params import DYNFLOW_MODES
 from repro.obs import Telemetry
 from repro.sim import Simulator, run_program
 from repro.system import evaluate_trace
-from repro.system.config import SystemConfig
+from repro.system.config import PAPER_SHAPES, SystemConfig
 from repro.system.coupled import run_coupled
 from repro.system.energy import energy_ratio
 from repro.system.traceeval import baseline_metrics
@@ -156,6 +157,13 @@ def _shared_options(array: Optional[str], slots: str, spec: str,
         "--spec", nargs="?", const="on", default=spec,
         choices=("off", "on", "both"),
         help="speculation: off, on, or both (bare --spec means on)")
+    parent.add_argument(
+        "--dynflow", default="off", choices=DYNFLOW_MODES,
+        help="dynamic control-flow mode for every selected "
+             "configuration (loop-aware configurations and/or "
+             "predicated dual-path merge; needs speculation to take "
+             "effect).  Paper arrays are lowered to their shape form, "
+             "so configuration names become geometry names")
     if fast:
         parent.add_argument(
             "--fast", action="store_true",
@@ -242,8 +250,22 @@ def _build_specs(args: argparse.Namespace) -> List[SystemSpec]:
         raise SystemExit(f"--slots must be comma-separated integers, "
                          f"got {args.slots!r}")
     spec_values = _SPEC_VALUES[args.spec]
+    dynflow = getattr(args, "dynflow", "off")
+    extras = ((("dynflow_mode", dynflow),) if dynflow != "off" else ())
+
+    def paper_spec(array: str, slots: int, spec: bool) -> SystemSpec:
+        # dim extras require the shape form (mirroring the serve wire
+        # protocol), so --dynflow lowers a paper array to its geometry.
+        if extras and array in PAPER_SHAPES:
+            return SystemSpec(shape=PAPER_SHAPES[array], slots=slots,
+                              speculation=spec, dim_extras=extras)
+        return SystemSpec(array=array, slots=slots, speculation=spec)
+
     specs: List[SystemSpec] = []
     try:
+        if extras and "ideal" in arrays:
+            raise ValueError("--dynflow does not apply to the ideal "
+                             "array (it never reconfigures)")
         for array in arrays:
             for spec in spec_values:
                 if array == "ideal":
@@ -251,10 +273,12 @@ def _build_specs(args: argparse.Namespace) -> List[SystemSpec]:
                                             speculation=spec))
                 else:
                     for slot_count in slot_counts:
-                        specs.append(SystemSpec(array=array,
-                                                slots=slot_count,
-                                                speculation=spec))
+                        specs.append(paper_spec(array, slot_count,
+                                                spec))
         if getattr(args, "ideal", False) and "ideal" not in arrays:
+            if extras:
+                raise ValueError("--dynflow does not apply to the "
+                                 "ideal array (it never reconfigures)")
             for spec in spec_values:
                 specs.append(SystemSpec(array="ideal",
                                         speculation=spec))
@@ -272,6 +296,10 @@ def _build_configs(args: argparse.Namespace) -> List[SystemConfig]:
     every selected :class:`SystemSpec` is built.
     """
     if args.array is None:
+        if getattr(args, "dynflow", "off") != "off":
+            raise SystemExit(
+                "--dynflow needs an explicit --arrays selection (the "
+                "default paper Table 2 matrix is mode-less)")
         from repro.system.sweep import paper_matrix
 
         return paper_matrix()
@@ -1272,7 +1300,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of kernels to generate")
     gen_p.add_argument("--profile", default="mixed",
                        help="knob profile: mixed, dataflow, control, "
-                            "or memory")
+                            "memory, loopy, or divergent")
     gen_p.add_argument("--out", default=None,
                        help="manifest path (default corpus_<seed>.json)")
     gen_p.add_argument("--names", action="store_true",

@@ -2,7 +2,7 @@
 
 Two layers.  :class:`CorpusKnobs` describes a *corpus*: the ranges each
 structural dial may take, named by the profile presets (``mixed``,
-``dataflow``, ``control``, ``memory``).  :class:`KernelKnobs` is one
+``dataflow``, ``control``, ``memory``, ``loopy``, ``divergent``).  :class:`KernelKnobs` is one
 concrete draw — every field pinned to a value — derived deterministically
 from ``(corpus seed, kernel index, corpus knobs)``.
 
@@ -91,6 +91,36 @@ class CorpusKnobs:
                    pool_words=(64, 128, 256))
 
     @classmethod
+    def loopy(cls) -> "CorpusKnobs":
+        """Tight hot loops with high trip counts and tame branching.
+
+        The stress profile for loop-aware configurations
+        (``DimParams.dynflow_mode="loop"``): small single-segment
+        bodies that close into one iterating configuration, almost no
+        diamonds, and counter-keyed (perfectly predictable) predicates
+        when one does appear, so reconfiguration amortisation — not
+        speculation — dominates the speedup.
+        """
+        return cls(profile="loopy", block_size=(8, 16), ilp=(2, 4),
+                   segments=(1, 2), diamonds=(0, 1), pred16=(12, 16),
+                   loop_depth=(1, 2), trips=(8, 24), mem16=(2, 6),
+                   budget=9000)
+
+    @classmethod
+    def divergent(cls) -> "CorpusKnobs":
+        """Unbiased, entropy-keyed diamonds the predictor cannot tame.
+
+        The stress profile for predicated dual-path merge
+        (``DimParams.dynflow_mode="dual"``): many diamonds keyed on the
+        xorshift stream with near-even bias, so bimodal counters never
+        saturate and speculative merging stalls — exactly where
+        translating both directions under predication pays.
+        """
+        return cls(profile="divergent", block_size=(3, 8), ilp=(1, 3),
+                   segments=(1, 2), diamonds=(3, 6), bias16=(6, 10),
+                   pred16=(0, 4), loop_depth=(1, 2), mem16=(0, 4))
+
+    @classmethod
     def named(cls, profile: str) -> "CorpusKnobs":
         try:
             factory = _PROFILES[profile]
@@ -120,6 +150,8 @@ _PROFILES = {
     "dataflow": CorpusKnobs.dataflow,
     "control": CorpusKnobs.control,
     "memory": CorpusKnobs.memory,
+    "loopy": CorpusKnobs.loopy,
+    "divergent": CorpusKnobs.divergent,
 }
 
 PROFILES: List[str] = sorted(_PROFILES)

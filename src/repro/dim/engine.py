@@ -53,6 +53,26 @@ class DimStats:
     array_potential_line_cycles: int = 0
     #: configurations written into the reconfiguration cache.
     config_writes: int = 0
+    # ---- dynamic control flow (dynflow.* in the obs schema) ----------
+    #: executions of loop-kind configurations.
+    loop_executions: int = 0
+    #: loop trips started (first trips plus back-edge continuations).
+    loop_trips: int = 0
+    #: loop-kind configurations written into the cache.
+    loop_configs: int = 0
+    #: loop configurations retired because the back-edge counter
+    #: saturated in the exit direction (the loop phase ended).
+    loop_retired: int = 0
+    #: executions of dual-kind configurations.
+    dual_executions: int = 0
+    #: dual-kind configurations written into the cache.
+    dual_configs: int = 0
+    #: instructions of the losing predicated path, squashed per
+    #: execution (priced as array ops but never committed).
+    dual_squashed_instructions: int = 0
+    #: dual configurations retired because their branch saturated (a
+    #: deeper speculative configuration can now take over).
+    dual_retired: int = 0
 
 
 class DimEngine:
@@ -121,7 +141,7 @@ class DimEngine:
                 and new.covered_instructions > config.covered_instructions:
             self.stats.extensions += 1
             self.stats.translated_instructions += new.covered_instructions
-            self.stats.config_writes += 1
+            self._record_config_write(new)
             if tel.enabled:
                 tel.emit("speculation.extension", pc=new.start_pc,
                          covered=new.covered_instructions,
@@ -155,12 +175,32 @@ class DimEngine:
         if config is not None:
             self.stats.translated_instructions += \
                 config.covered_instructions
-            self.stats.config_writes += 1
+            self._record_config_write(config)
             if tel.enabled:
                 tel.emit("translation.committed", pc=config.start_pc,
                          covered=config.covered_instructions,
                          blocks=len(config.blocks))
             self.cache.insert(config)
+
+    def _record_config_write(self, config: Configuration) -> None:
+        """Count one cache write, split by configuration kind."""
+        stats = self.stats
+        stats.config_writes += 1
+        kind = config.kind
+        if kind == "loop":
+            stats.loop_configs += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "dynflow.loop_committed", pc=config.start_pc,
+                    blocks=len(config.blocks),
+                    covered=config.covered_instructions)
+        elif kind == "dual":
+            stats.dual_configs += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "dynflow.dual_committed", pc=config.start_pc,
+                    taken_covered=config.dual_taken.covered,
+                    fallthrough_covered=config.dual_fallthrough.covered)
 
     # ------------------------------------------------------------------
     # Array-execution bookkeeping (shared by coupled sim and trace eval).
@@ -181,7 +221,86 @@ class DimEngine:
         stall = max(0, config.reconfiguration_cycles
                     - self.params.reconfig_overlap)
         stats.reconfiguration_stalls += stall
+        kind = config.kind
+        if kind == "loop":
+            stats.loop_executions += 1
+            stats.loop_trips += 1
+        elif kind == "dual":
+            stats.dual_executions += 1
         return stall
+
+    def loop_iteration(self, config: Configuration) -> int:
+        """Account one additional loop trip; returns its array cycles.
+
+        A continuation trip re-executes every placed operation but pays
+        neither the reconfiguration fetch nor the speculative write-back
+        drain (carried operands stay routed inside the array).  The
+        per-trip exit check is charged by the caller, on top.
+        """
+        stats = self.stats
+        result = config.result
+        stats.loop_trips += 1
+        stats.array_alu_ops += result.alu_ops
+        stats.array_mult_ops += result.mult_ops
+        stats.array_mem_ops += result.mem_ops
+        cycles = config.trip_cycles
+        stats.array_cycles += cycles
+        stats.array_line_cycles += result.lines_used * cycles
+        stats.array_potential_line_cycles += \
+            min(self.shape.rows, 1 << 20) * cycles
+        return cycles
+
+    def loop_backedge(self, config: Configuration,
+                      cfg_block: ConfigBlock, actual: bool) -> bool:
+        """Resolve one iterating back-edge; True when the loop continues.
+
+        The back-edge check is architecturally non-speculative — every
+        trip resolves it before the next iteration commits — so an exit
+        is *not* a mis-speculation: no penalty, no flush pressure, and
+        the mis-speculation counter resets either way.  When the
+        counter has saturated in the exit direction the loop phase is
+        over and the configuration is retired so a later translation
+        can rebuild for the new behaviour.
+        """
+        self.predictor.update(cfg_block.block.branch_pc, actual)
+        config.misspec_count = 0
+        if actual == cfg_block.expected_taken:
+            return True
+        if self.predictor.saturated_direction(cfg_block.block.branch_pc) \
+                == (not cfg_block.expected_taken):
+            self.cache.invalidate(config.start_pc)
+            self.stats.loop_retired += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit("translation.evicted",
+                                    pc=config.start_pc,
+                                    reason="loop_retired")
+        return False
+
+    def dual_resolution(self, config: Configuration,
+                        cfg_block: ConfigBlock, actual: bool
+                        ) -> ConfigBlock:
+        """Resolve a predicated branch; returns the committed side.
+
+        The losing path's operations were executed (and priced) by the
+        array but their write-backs are gated off — predication cost,
+        not a mis-speculation.  Once the branch saturates, the dual
+        configuration is retired: a speculative rebuild can now merge
+        deeper along the now-predictable direction.
+        """
+        self.predictor.update(cfg_block.block.branch_pc, actual)
+        config.misspec_count = 0
+        winner = config.dual_taken if actual else config.dual_fallthrough
+        loser = config.dual_fallthrough if actual else config.dual_taken
+        self.stats.dual_squashed_instructions += loser.covered
+        if self.predictor.saturated_direction(cfg_block.block.branch_pc) \
+                is not None:
+            self.cache.invalidate(config.start_pc)
+            self.stats.dual_retired += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit("translation.evicted",
+                                    pc=config.start_pc,
+                                    reason="dual_retired")
+        return winner
 
     def speculation_outcome(self, config: Configuration,
                             cfg_block: ConfigBlock, actual: bool) -> bool:

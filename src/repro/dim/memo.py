@@ -50,9 +50,14 @@ from repro.sim.trace import BasicBlock
 
 #: DimParams fields that influence translation.  Cache geometry/policy,
 #: mis-speculation handling and predictor sizing deliberately excluded:
-#: systems differing only in those share one memo partition.
+#: systems differing only in those share one memo partition.  The
+#: dynflow knobs are included because they change both the walk (mode,
+#: loop bounds) and the built configuration's cost fields (gate and
+#: exit-check cycles are baked into the template).
 _POLICY_FIELDS = ("speculation", "max_spec_depth", "max_blocks",
-                  "min_block_instructions")
+                  "min_block_instructions", "dynflow_mode",
+                  "loop_max_body_blocks", "loop_carry_regs",
+                  "loop_exit_check_cycles", "dual_gate_cycles")
 
 _MemoKey = Tuple[BasicBlock, ArrayShape, Tuple]
 #: (recorded probes, pristine template or None when too short to cache).
@@ -75,6 +80,11 @@ def _instantiate(template: Optional[Configuration]
         result=template.result,
         shape=template.shape,
         extendable=template.extendable,
+        kind=template.kind,
+        dual_taken=template.dual_taken,
+        dual_fallthrough=template.dual_fallthrough,
+        gate_cycles=template.gate_cycles,
+        loop_check_cycles=template.loop_check_cycles,
     )
 
 

@@ -5,11 +5,26 @@ instructions to be cached; speculation covers "up to three basic blocks";
 a configuration is flushed after "a predefined number" of
 mis-speculations (we default to 2); counters must saturate before a block
 is merged speculatively.
+
+The ``dynflow_mode`` knob enables the dynamic control-flow extensions
+(loop-aware configurations and predicated dual-path merge — see
+``docs/toolchain.md`` §Dynamic control flow).  Both modes require
+``speculation=True`` to have any effect: they reuse the speculative
+merge walk and its all-or-nothing resource discipline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+#: valid reconfiguration-cache replacement policies.
+CACHE_POLICIES = ("fifo", "lru")
+
+#: valid dynamic control-flow modes: 'off' reproduces the paper's
+#: translator; 'loop' closes saturated back-edges into iterating
+#: configurations; 'dual' merges both directions of an unsaturated
+#: branch under predication; 'both' enables the two together.
+DYNFLOW_MODES = ("off", "loop", "dual", "both")
 
 
 @dataclass(frozen=True)
@@ -39,3 +54,50 @@ class DimParams:
     #: pipeline stages that overlap reconfiguration ("three cycles
     #: available for the array reconfiguration").
     reconfig_overlap: int = 3
+    #: dynamic control-flow mode (see :data:`DYNFLOW_MODES`).
+    dynflow_mode: str = "off"
+    #: largest translated block chain a back-edge may close into one
+    #: iterating configuration (counts every block of the loop body).
+    loop_max_body_blocks: int = 4
+    #: bound on the rotating-register map of an iterating configuration:
+    #: a loop is only closed when its live-in operand set fits, so every
+    #: trip after the first routes carried values inside the array
+    #: instead of re-fetching the input context from the register file.
+    loop_carry_regs: int = 8
+    #: per-trip cost of resolving the iterating back-edge (the honest
+    #: exit check: every trip tests the branch before the next iteration
+    #: commits).
+    loop_exit_check_cycles: int = 1
+    #: per-execution cost of gating a dual-path configuration's
+    #: write-backs on the resolved branch direction.
+    dual_gate_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cache_policy not in CACHE_POLICIES:
+            valid = ", ".join(CACHE_POLICIES)
+            raise ValueError(
+                f"unknown cache_policy {self.cache_policy!r}: valid "
+                f"policies are {valid}")
+        if self.dynflow_mode not in DYNFLOW_MODES:
+            valid = ", ".join(DYNFLOW_MODES)
+            raise ValueError(
+                f"unknown dynflow_mode {self.dynflow_mode!r}: valid "
+                f"modes are {valid}")
+        if self.loop_max_body_blocks < 1:
+            raise ValueError("loop_max_body_blocks must be >= 1")
+        if self.loop_carry_regs < 0:
+            raise ValueError("loop_carry_regs must be >= 0")
+        if self.loop_exit_check_cycles < 0:
+            raise ValueError("loop_exit_check_cycles must be >= 0")
+        if self.dual_gate_cycles < 0:
+            raise ValueError("dual_gate_cycles must be >= 0")
+
+    @property
+    def loop_enabled(self) -> bool:
+        """Loop-aware configurations active (needs speculation)."""
+        return self.speculation and self.dynflow_mode in ("loop", "both")
+
+    @property
+    def dual_enabled(self) -> bool:
+        """Predicated dual-path merge active (needs speculation)."""
+        return self.speculation and self.dynflow_mode in ("dual", "both")

@@ -18,6 +18,26 @@ into leftover rows would forfeit that block's own (larger) standalone
 configuration.  An extension that stops at an *unsupported* instruction
 is kept, since the standalone configuration could not have covered more
 either.
+
+The two dynamic control-flow modes extend this walk (see
+``docs/toolchain.md`` §Dynamic control flow):
+
+- **loop closure** (``DimParams.loop_enabled``) — when the saturated
+  direction of a conditional terminator targets the configuration's own
+  start PC, the chain is a loop body: instead of unrolling into the
+  predicted successor, the back-edge branch is placed and the
+  configuration is *closed* (``kind="loop"``).  Closure is bounded by
+  ``loop_max_body_blocks`` and by ``loop_carry_regs`` (the live-in set
+  must fit the rotating-register map that carries operands between
+  trips).  The decision consumes no extra probes: it is a function of
+  the already-probed direction and static PCs, which keeps the result
+  memoizable.
+- **dual-path merge** (``DimParams.dual_enabled``) — where the paper's
+  walk stops because the counter is *not* saturated, both successors
+  are probed and, if the branch plus both covered bodies fit
+  (all-or-nothing per side, with the dependence view forked so neither
+  path observes the other's writes), the configuration closes as
+  ``kind="dual"`` with the terminator predicated rather than predicted.
 """
 
 from __future__ import annotations
@@ -99,6 +119,9 @@ class Translator:
         cfg_blocks: List[ConfigBlock] = []
         spec_depth = 0
         extendable = False  # True when a later attempt may merge deeper
+        kind = "linear"
+        dual_taken: Optional[ConfigBlock] = None
+        dual_fallthrough: Optional[ConfigBlock] = None
 
         block = first_block
         covered, reason = _place_body(alloc, block)
@@ -131,12 +154,39 @@ class Translator:
                     probe_log.append((PROBE_DIRECTION, block.branch_pc,
                                       direction))
                 if direction is None:
-                    # not biased enough yet; retry on a later execution
+                    # not biased enough for speculation; a dual-path
+                    # merge covers exactly this case.
+                    if params.dual_enabled:
+                        sides = self._try_dual(alloc, cfg_blocks, block,
+                                               covered, probe_log)
+                        if sides is not None:
+                            kind = "dual"
+                            dual_taken, dual_fallthrough = sides
+                            break
+                    # retry on a later execution
                     cfg_blocks.append(ConfigBlock(block, covered, False))
                     extendable = True
                     break
                 next_pc = block.taken_target() if direction \
                     else block.fallthrough_pc
+                if params.loop_enabled \
+                        and next_pc == first_block.start_pc \
+                        and len(cfg_blocks) + 1 \
+                        <= params.loop_max_body_blocks:
+                    # saturated back-edge to our own start: close the
+                    # chain into an iterating configuration instead of
+                    # unrolling.  No extra probes: the decision is a
+                    # function of the probed direction and static PCs.
+                    snapshot = alloc.snapshot()
+                    if alloc.place(term) \
+                            and alloc.input_count <= params.loop_carry_regs:
+                        cfg_blocks.append(
+                            ConfigBlock(block, covered, True, direction))
+                        kind = "loop"
+                        break
+                    # does not fit the loop bounds: fall back to the
+                    # paper's unrolling merge below.
+                    alloc.restore(snapshot)
             else:  # unconditional j
                 direction = True
                 next_pc = block.taken_target()
@@ -170,7 +220,60 @@ class Translator:
             result=alloc.finish(),
             shape=self.shape,
             extendable=extendable and params.speculation,
+            kind=kind,
+            dual_taken=dual_taken,
+            dual_fallthrough=dual_fallthrough,
+            gate_cycles=params.dual_gate_cycles if kind == "dual" else 0,
+            loop_check_cycles=params.loop_exit_check_cycles
+            if kind == "loop" else 0,
         )
         if config.covered_instructions < params.min_block_instructions:
             return None
         return config
+
+    def _try_dual(self, alloc: Allocator,
+                  cfg_blocks: List[ConfigBlock], block: BasicBlock,
+                  covered: int,
+                  probe_log: Optional[MutableSequence[Probe]]
+                  ) -> Optional[Tuple[ConfigBlock, ConfigBlock]]:
+        """Attempt a predicated dual-path merge at ``block``'s branch.
+
+        Both successors are probed (in taken-then-fallthrough order, so
+        the probe sequence stays deterministic) and both covered bodies
+        must place with at least one instruction each and without
+        running out of array resources; otherwise everything is rolled
+        back and the caller keeps the paper's
+        stop-at-unpredictable-branch behaviour.  On success the merged
+        branch block is appended and the two side prefixes (taken,
+        fallthrough) are returned.
+        """
+        taken_pc = block.taken_target()
+        taken_block = self.block_provider(taken_pc)
+        if probe_log is not None:
+            probe_log.append((PROBE_SUCCESSOR, taken_pc, taken_block))
+        if taken_block is None:
+            return None
+        ft_pc = block.fallthrough_pc
+        ft_block = self.block_provider(ft_pc)
+        if probe_log is not None:
+            probe_log.append((PROBE_SUCCESSOR, ft_pc, ft_block))
+        if ft_block is None:
+            return None
+        snapshot = alloc.snapshot()
+        if not alloc.place(block.terminator):
+            alloc.restore(snapshot)
+            return None
+        mark = alloc.fork_dataflow()
+        taken_covered, taken_reason = _place_body(alloc, taken_block)
+        if taken_reason == "resources" or taken_covered == 0:
+            alloc.restore(snapshot)
+            return None
+        taken_view = alloc.rewind_dataflow(mark)
+        ft_covered, ft_reason = _place_body(alloc, ft_block)
+        if ft_reason == "resources" or ft_covered == 0:
+            alloc.restore(snapshot)
+            return None
+        alloc.join_dataflow(taken_view)
+        cfg_blocks.append(ConfigBlock(block, covered, True, None))
+        return (ConfigBlock(taken_block, taken_covered, False),
+                ConfigBlock(ft_block, ft_covered, False))

@@ -340,6 +340,24 @@ def default_space() -> ParameterSpace:
     ))
 
 
+def dynflow_space() -> ParameterSpace:
+    """The dynamic control-flow exploration grid.
+
+    :func:`default_space` with the ``dynflow_mode`` axis opened up: the
+    same geometry/cache/speculation grid, each point additionally
+    evaluated with loop-aware configurations, predicated dual-path
+    merge, both, or neither (``DimParams.dynflow_mode``).  The
+    frontier over this space dominates (weakly, and strictly somewhere
+    on loop-heavy mixes) the frontier of :func:`default_space`, since
+    the ``off`` plane *is* the default space — asserted by the dynflow
+    smoke suite.
+    """
+    base = default_space()
+    return ParameterSpace(axes=base.axes + (
+        Axis("dynflow_mode", ("off", "loop", "dual", "both")),
+    ))
+
+
 def load_space(path) -> ParameterSpace:
     """Load a declarative space spec from a JSON file."""
     with open(Path(path)) as handle:

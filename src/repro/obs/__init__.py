@@ -42,6 +42,7 @@ from repro.obs.schema import (
     dim_counters,
     dse_counters,
     dse_timers,
+    dynflow_counters,
     engine_counters,
     mpsoc_counters,
     mpsoc_timers,
@@ -67,6 +68,7 @@ __all__ = [
     "dim_counters",
     "dse_counters",
     "dse_timers",
+    "dynflow_counters",
     "engine_counters",
     "mpsoc_counters",
     "mpsoc_timers",

@@ -45,6 +45,9 @@ EVENT_TYPES = frozenset({
     "predictor.update",
     "predictor.flush",          # mispredict-driven configuration flush
     "speculation.extension",    # a cached config was deepened
+    # dynamic control-flow translation (repro.dim dynflow modes)
+    "dynflow.loop_committed",   # a loop configuration entered the rcache
+    "dynflow.dual_committed",   # a dual-path configuration entered it
     # sweep engine
     "sweep.cell_replayed",      # one (workload, system) cell evaluated live
     # evaluation service (repro.serve)

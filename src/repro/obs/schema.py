@@ -12,6 +12,7 @@ uses — is defined here once.
 Namespaces:
 
 - ``dim.*``        DIM engine activity (translations, array events, ...)
+- ``dynflow.*``    dynamic control-flow modes (loop / dual-path configs)
 - ``rcache.*``     reconfiguration-cache probes and churn
 - ``predictor.*``  bimodal predictor training
 - ``sim.*``        functional simulator totals
@@ -48,6 +49,21 @@ DIM_COUNTERS = {
     "dim.array_line_cycles": "array_line_cycles",
     "dim.array_potential_line_cycles": "array_potential_line_cycles",
     "dim.config_writes": "config_writes",
+}
+
+#: carrier: :class:`repro.dim.engine.DimStats` — the dynamic
+#: control-flow additions (loop-aware and predicated dual-path
+#: configurations) live in their own namespace so exports stay
+#: readable when the modes are disabled (all-zero block).
+DYNFLOW_COUNTERS = {
+    "dynflow.loop_configs": "loop_configs",
+    "dynflow.loop_executions": "loop_executions",
+    "dynflow.loop_trips": "loop_trips",
+    "dynflow.loop_retired": "loop_retired",
+    "dynflow.dual_configs": "dual_configs",
+    "dynflow.dual_executions": "dual_executions",
+    "dynflow.dual_squashed_instructions": "dual_squashed_instructions",
+    "dynflow.dual_retired": "dual_retired",
 }
 
 RCACHE_COUNTERS = {
@@ -213,6 +229,11 @@ def dim_counters(stats) -> Dict[str, int]:
     return _collect(stats, DIM_COUNTERS)
 
 
+def dynflow_counters(stats) -> Dict[str, int]:
+    """Dynamic control-flow counters of a ``DimStats``."""
+    return _collect(stats, DYNFLOW_COUNTERS)
+
+
 def rcache_counters(cache) -> Dict[str, int]:
     """Canonical counters of a reconfiguration cache."""
     return _collect(cache, RCACHE_COUNTERS)
@@ -226,6 +247,7 @@ def predictor_counters(predictor) -> Dict[str, int]:
 def engine_counters(engine) -> Dict[str, int]:
     """All counters of one :class:`repro.dim.engine.DimEngine`."""
     counters = dim_counters(engine.stats)
+    counters.update(dynflow_counters(engine.stats))
     counters.update(rcache_counters(engine.cache))
     counters.update(predictor_counters(engine.predictor))
     return counters

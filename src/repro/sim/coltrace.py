@@ -13,7 +13,14 @@ in a conditional branch produces exactly one ``update(branch_pc,
 taken)`` — on the normal path via ``observe_branch``, on the array path
 via ``speculation_outcome`` (which updates before it compares), and a
 ``covered == 0`` reprocessed event defers its single update to the
-reprocessing step.  Jump- and syscall-terminated blocks never update.
+reprocessing step.  The dynamic control-flow kinds preserve the
+invariant: a loop configuration updates each interior merged branch
+through ``speculation_outcome`` and the iterating back-edge through
+``loop_backedge`` (once per trip, i.e. once per consumed back-edge
+event), and a dual-path configuration updates its predicated branch
+through ``dual_resolution`` and the winner block's own terminator
+through ``observe_branch`` — still exactly one update per consumed
+conditional event.  Jump- and syscall-terminated blocks never update.
 The update *sequence* is therefore a pure function of the trace, so the
 counter value of any predictor index at any event boundary ``t`` (the
 state after the updates of events ``< t``) can be precomputed once per

@@ -31,7 +31,12 @@ Two engines cover the configuration space:
   configuration's exit outcome at its ``r``-th occurrence (commit /
   reprocess / mis-speculate at depth ``m``) is precomputed as an *exit
   code*, and each code indexes a per-template metric-delta row, an
-  events-consumed count and a flush verdict.
+  events-consumed count and a flush verdict.  The dynamic control-flow
+  kinds (``repro.dim.params.DYNFLOW_MODES``) extend the same machinery:
+  dual-path templates add four resolution codes (actual direction x
+  winner-tail outcome), and loop templates — whose consumed-event count
+  varies with the trip count — are walked on demand, with per-trip
+  costs folded in as a rank-independent trip row.
 
 Both tiers are **bit-identical** to :func:`evaluate_trace` — same
 cycles, same :class:`DimStats`, same cache counters, same serialized
@@ -139,7 +144,9 @@ class _Template:
                  "mem_ops", "lines_used", "extendable0", "last_term_none",
                  "gate_always", "last_branch_pc", "K", "ncodes", "consumed",
                  "reset_exit", "prior_reset", "code_list", "_deltas",
-                 "_gates", "_opps", "_ctx")
+                 "_gates", "_opps", "_ctx", "kind", "kindcode", "chk",
+                 "trip_cycles", "_trip_row", "int_pcs", "int_opps",
+                 "back_expected_bit", "back_opp", "_merged_cond")
 
     def __init__(self, ctx: "ColumnarContext", config: Configuration):
         np = numpy_or_none()
@@ -156,6 +163,10 @@ class _Template:
         self.mem_ops = result.mem_ops
         self.lines_used = result.lines_used
         self.extendable0 = config.extendable
+        self.kind = config.kind
+        self.kindcode = {"linear": 0, "loop": 1, "dual": 2}[config.kind]
+        self.chk = config.loop_check_cycles
+        self.trip_cycles = config.trip_cycles
         last = config.blocks[-1].block
         term = last.terminator
         self.last_term_none = term is None
@@ -166,8 +177,6 @@ class _Template:
         self.last_branch_pc = last.branch_pc
         K = len(config.blocks)
         self.K = K
-        self.ncodes = 3 + (K - 1)
-        self.consumed = [K - 1, K, K] + [m + 1 for m in range(K - 1)]
         # misspec_count resets on every *matched* merged branch, so the
         # count after an exit depends only on whether a merged branch
         # preceded the exit point (engine.speculation_outcome).
@@ -175,6 +184,44 @@ class _Template:
                         for cb in config.blocks]
         self.reset_exit = any(merged_branch[:K - 1])
         self.prior_reset = [any(merged_branch[:m]) for m in range(K - 1)]
+        # interior merged-conditional lookup tables (flush verdicts for
+        # the loop/dual replay branches; the linear branch uses the
+        # precomputed flush_opp lists instead).
+        self.int_pcs = [cb.block.branch_pc for cb in config.blocks[:K - 1]]
+        self.int_opps = [0 if cb.expected_taken else 1
+                         for cb in config.blocks[:K - 1]]
+        self._deltas: Dict[TimingModel, List[List[int]]] = {}
+        self._gates: Dict[int, Optional[List[bool]]] = {}
+        self._opps: Dict[int, List[bool]] = {}
+        self._trip_row: Optional[List[int]] = None
+        if self.kindcode == 1:
+            # loop: code 0 = clean back-edge exit, 1+m = interior merged
+            # branch at depth m mis-speculated.  Exit codes, trip counts
+            # and consumed-event counts vary with the trip count, so
+            # they are computed per executed occurrence by loop_exit()
+            # instead of eagerly per rank.
+            back = config.blocks[-1]
+            self.back_expected_bit = 1 if back.expected_taken else 0
+            self.back_opp = 0 if back.expected_taken else 1
+            self._merged_cond = [
+                (m, 1 if config.blocks[m].expected_taken else 0)
+                for m in range(K - 1) if merged_branch[m]]
+            self.code_list = None
+            self.consumed = None
+            self.ncodes = K
+            return
+        self.back_expected_bit = 0
+        self.back_opp = 0
+        self._merged_cond = []
+        if self.kindcode == 2:
+            # dual: codes 0-3 = resolution (2*actual + successor taken),
+            # 4+m = interior merged branch at depth m mis-speculated.
+            self.ncodes = 4 + (K - 1)
+            self.consumed = [K + 1] * 4 + [m + 1 for m in range(K - 1)]
+            self._compute_dual_codes(np)
+            return
+        self.ncodes = 3 + (K - 1)
+        self.consumed = [K - 1, K, K] + [m + 1 for m in range(K - 1)]
 
         # ---- exit code per occurrence --------------------------------
         positions = ctx.coltrace.occ[self.start_block.block_id]
@@ -217,20 +264,101 @@ class _Template:
                 codes[mismatch] = 3 + m
                 pending &= ~mismatch
             self.code_list = codes.tolist()
-        self._deltas: Dict[TimingModel, List[List[int]]] = {}
-        self._gates: Dict[int, Optional[List[bool]]] = {}
-        self._opps: Dict[int, List[bool]] = {}
+
+    def _compute_dual_codes(self, np) -> None:
+        """Exit code per occurrence of a dual-path configuration.
+
+        Interior depths mirror the linear walk; when every interior
+        matches, the resolution code packs the predicated branch's
+        actual direction with the winner block's own terminator outcome
+        (the event consumed by the mid-block normal tail).
+        """
+        ctx = self._ctx
+        positions = ctx.coltrace.occ[self.start_block.block_id]
+        last_event = ctx.coltrace.n - 1
+        K = self.K
+        merged = [(m, 1 if self.blocks[m].expected_taken else 0)
+                  for m in range(K - 1)
+                  if self.blocks[m].includes_terminator
+                  and self.blocks[m].block.is_conditional]
+        if len(positions) < 256:
+            tk_list = ctx.coltrace.tk_list
+            codes_py = []
+            for position in positions.tolist():
+                for m, expected in merged:
+                    if tk_list[min(position + m, last_event)] != expected:
+                        codes_py.append(4 + m)
+                        break
+                else:
+                    actual = tk_list[min(position + K - 1, last_event)]
+                    succ = tk_list[min(position + K, last_event)]
+                    codes_py.append(2 * actual + succ)
+            self.code_list = codes_py
+        else:
+            tk = ctx.coltrace.tk
+            branch_positions = np.minimum(positions + (K - 1), last_event)
+            succ_positions = np.minimum(positions + K, last_event)
+            codes = (2 * tk[branch_positions]
+                     + tk[succ_positions]).astype(np.int64)
+            pending = np.ones(len(positions), dtype=bool)
+            for m, expected in merged:
+                bp = np.minimum(positions + m, last_event)
+                mismatch = pending & (tk[bp] != expected)
+                codes[mismatch] = 4 + m
+                pending &= ~mismatch
+            self.code_list = codes.tolist()
+
+    def loop_exit(self, position: int) -> Tuple[int, int, int]:
+        """(code, extra trips, events consumed) of one loop execution.
+
+        Walks the taken column from ``position``, one step per consumed
+        event: trips continue while every interior merged branch matches
+        and the back-edge resolves in the looping direction.  Loop spans
+        are consumed exactly once by the replay, so the total walk cost
+        over a trace is linear — which is why these are computed on
+        demand rather than eagerly per rank (an eager walk would be
+        quadratic in the trip count across overlapping occurrences).
+        """
+        tk = self._ctx.coltrace.tk_list
+        last = self._ctx.coltrace.n - 1
+        K = self.K
+        back_bit = self.back_expected_bit
+        merged = self._merged_cond
+        t = 0
+        while True:
+            base = position + t * K
+            if base + K - 1 > last:  # pragma: no cover
+                raise RuntimeError(
+                    "trace/configuration divergence in loop replay at "
+                    f"event {base}")
+            for m, expected in merged:
+                if tk[base + m] != expected:
+                    return (1 + m, t, t * K + m + 1)
+            if tk[base + K - 1] != back_bit:
+                return (0, t, (t + 1) * K)
+            t += 1
 
     def delta(self, timing: TimingModel) -> List[List[int]]:
         """Metric-delta rows, one per exit code, under one timing model.
 
-        Mirrors the array-execution walk of ``evaluate_trace`` with the
-        running totals checkpointed at every possible exit.
+        Mirrors the array-execution walk of ``evaluate_trace`` (and its
+        ``_run_loop`` / ``_run_dual`` variants) with the running totals
+        checkpointed at every possible exit.
         """
         rows = self._deltas.get(timing)
         if rows is not None:
             return rows
         model = shared_cost_model(timing)
+        if self.kindcode == 1:
+            rows = self._delta_loop()
+        elif self.kindcode == 2:
+            rows = self._delta_dual(model)
+        else:
+            rows = self._delta_linear(model)
+        self._deltas[timing] = rows
+        return rows
+
+    def _delta_linear(self, model) -> List[List[int]]:
         rows = [[0] * NFIELDS for _ in range(self.ncodes)]
         run = [0] * NFIELDS
         run[CYC] = self.exec_cycles
@@ -284,7 +412,141 @@ class _Template:
                         terminator.klass is InstrClass.JUMP or taken):
                     row[TAK] += 1
                 rows[code] = row
-        self._deltas[timing] = rows
+        return rows
+
+    def _delta_loop(self) -> List[List[int]]:
+        """Base (zero-extra-trip) rows of a loop configuration.
+
+        Row 0 is the clean back-edge exit of the first trip: it pays the
+        exit check and its transfer goes the non-looping direction.  Row
+        ``1+m`` is an interior mis-speculation before any back-edge was
+        reached, so no check is charged.  Executions with extra trips
+        add ``trip_row()`` once per trip on top (``traceeval._run_loop``).
+        """
+        rows = [[0] * NFIELDS for _ in range(self.ncodes)]
+        run = [0] * NFIELDS
+        run[CYC] = self.exec_cycles
+        K = self.K
+        for q, cfg_block in enumerate(self.blocks):
+            block = cfg_block.block
+            loads, stores = _prefix_mem_ops(block, cfg_block.covered)
+            run[COM] += cfg_block.covered
+            run[LDS] += loads
+            run[STS] += stores
+            if q == K - 1:
+                break
+            if block.is_conditional:
+                mis = list(run)
+                mis[COM] += 1
+                mis[BRA] += 1
+                if not cfg_block.expected_taken:
+                    mis[TAK] += 1
+                mis[MIS] = 1
+                mis[INS] = mis[COM]
+                rows[1 + q] = mis
+            run[COM] += 1
+            run[BRA] += 1
+            if not block.is_conditional or cfg_block.expected_taken:
+                run[TAK] += 1
+        back = self.blocks[-1]
+        row = list(run)
+        row[CYC] += self.chk
+        row[COM] += 1
+        row[BRA] += 1
+        if not back.expected_taken:
+            row[TAK] += 1
+        row[INS] = row[COM]
+        rows[0] = row
+        return rows
+
+    def trip_row(self) -> List[int]:
+        """Metric delta of one extra loop trip (timing-independent).
+
+        A continuation re-executes the whole chain (all terminators
+        included), pays the marginal dataflow depth plus the exit check,
+        and its back-edge transfers in the looping direction.
+        """
+        row = self._trip_row
+        if row is None:
+            row = [0] * NFIELDS
+            row[CYC] = self.trip_cycles + self.chk
+            K = self.K
+            for q, cfg_block in enumerate(self.blocks):
+                block = cfg_block.block
+                loads, stores = _prefix_mem_ops(block, cfg_block.covered)
+                row[COM] += cfg_block.covered + 1
+                row[LDS] += loads
+                row[STS] += stores
+                row[BRA] += 1
+                if q == K - 1:
+                    if cfg_block.expected_taken:
+                        row[TAK] += 1
+                elif not block.is_conditional or cfg_block.expected_taken:
+                    row[TAK] += 1
+            row[INS] = row[COM]
+            self._trip_row = row
+        return row
+
+    def _delta_dual(self, model) -> List[List[int]]:
+        """Rows of a dual-path configuration.
+
+        The merged chain accumulates like the linear walk; the
+        predicated terminator always commits, then each resolution code
+        adds the winning side's covered prefix plus the normal-execution
+        cost of the winner block's tail (``traceeval._run_dual``).
+        """
+        rows = [[0] * NFIELDS for _ in range(self.ncodes)]
+        run = [0] * NFIELDS
+        run[CYC] = self.exec_cycles
+        K = self.K
+        for q, cfg_block in enumerate(self.blocks):
+            block = cfg_block.block
+            loads, stores = _prefix_mem_ops(block, cfg_block.covered)
+            run[COM] += cfg_block.covered
+            run[LDS] += loads
+            run[STS] += stores
+            if q == K - 1:
+                break
+            if block.is_conditional:
+                mis = list(run)
+                mis[COM] += 1
+                mis[BRA] += 1
+                if not cfg_block.expected_taken:
+                    mis[TAK] += 1
+                mis[MIS] = 1
+                mis[INS] = mis[COM]
+                rows[4 + q] = mis
+            run[COM] += 1
+            run[BRA] += 1
+            if not block.is_conditional or cfg_block.expected_taken:
+                run[TAK] += 1
+        # the predicated terminator itself always commits
+        run[COM] += 1
+        run[BRA] += 1
+        config = self.config
+        for actual, side in ((0, config.dual_fallthrough),
+                             (1, config.dual_taken)):
+            wblk = side.block
+            wloads, wstores = _prefix_mem_ops(wblk, side.covered)
+            cost = model.cost(wblk, side.covered)
+            terminator = wblk.terminator
+            for succ in (0, 1):
+                row = list(run)
+                row[TAK] += actual
+                row[COM] += side.covered
+                row[CYC] += cost.cycles(succ == 1)
+                row[INS] = row[COM] + cost.instructions
+                row[FET] += cost.fetches
+                row[LDS] += wloads + cost.loads
+                row[STS] += wstores + cost.stores
+                row[BRA] += cost.branches
+                row[LUS] += cost.load_use_stalls
+                row[HILO] += cost.hilo_stalls
+                row[SYS] += cost.syscalls
+                if terminator is not None and (
+                        terminator.klass is InstrClass.JUMP or succ):
+                    row[TAK] += 1
+                rows[2 * actual + succ] = row
         return rows
 
     def ext_gate(self, timeline: PredictorTimeline) -> Optional[List[bool]]:
@@ -512,7 +774,14 @@ class _TranslationTimeline:
         if config is not None:
             key = (tuple((cb.block.block_id, cb.covered,
                           cb.includes_terminator, cb.expected_taken)
-                         for cb in config.blocks), config.extendable)
+                         for cb in config.blocks), config.extendable,
+                   config.kind,
+                   None if config.dual_taken is None else
+                   (config.dual_taken.block.block_id,
+                    config.dual_taken.covered),
+                   None if config.dual_fallthrough is None else
+                   (config.dual_fallthrough.block.block_id,
+                    config.dual_fallthrough.covered))
             template = self.templates.get(key)
             if template is None:
                 template = _Template(self.ctx, config)
@@ -904,8 +1173,14 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
     One Python iteration per *cache transaction* (not per metric), with
     every decision reduced to a precomputed list lookup.  Entries are
     flat lists ``[template, misspec_count, extendable, code_stats,
-    codes, consumed, flush_opp, ext_gate]``; ``code_stats`` is shared
-    per template so exit-code counts aggregate across reinsertion.
+    codes, consumed, flush_opp, ext_gate, kindcode]``; ``code_stats``
+    is shared per template so exit-code counts aggregate across
+    reinsertion (loop templates carry one extra trailing slot that
+    accumulates extra trips).  Loop and dual templates dispatch on
+    ``kindcode``: their flush/retire verdicts are answered inline from
+    the predictor timeline because the query boundary depends on the
+    per-execution trip count, and loop exits are walked on demand
+    (``_Template.loop_exit``) rather than precomputed per rank.
     """
     np = numpy_or_none()
     coltrace = context.coltrace
@@ -933,7 +1208,10 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
     insertions = evictions = invalidations = 0
     translations = extensions = flushes = 0
     translated_instructions = config_writes = 0
+    loop_configs = dual_configs = 0
+    loop_retired = dual_retired = 0
     tk = coltrace.tk_list
+    class_at = timeline.class_at
 
     def fresh_entry(template: _Template) -> list:
         # prototype per template: reinsertion after a flush only needs a
@@ -941,12 +1219,23 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
         # stats list is intentionally shared across reinsertion).
         proto = protos.get(template)
         if proto is None:
-            st = code_stats[template] = [0] * template.ncodes
-            proto = protos[template] = [
-                template, 0, template.extendable0, st,
-                template.code_list, template.consumed,
-                template.flush_opp(timeline),
-                template.ext_gate(timeline)]
+            kindcode = template.kindcode
+            # loop templates get a trailing extra-trips accumulator
+            st = code_stats[template] = \
+                [0] * (template.ncodes + (1 if kindcode == 1 else 0))
+            if kindcode == 0:
+                proto = protos[template] = [
+                    template, 0, template.extendable0, st,
+                    template.code_list, template.consumed,
+                    template.flush_opp(timeline),
+                    template.ext_gate(timeline)
+                    if template.extendable0 else None, 0]
+            else:
+                # loop/dual configurations are closed: never extendable,
+                # verdicts answered inline from the timeline.
+                proto = protos[template] = [
+                    template, 0, False, st, template.code_list,
+                    template.consumed, None, None, kindcode]
         return proto.copy()
 
     i = 0
@@ -964,6 +1253,10 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
                     translated_instructions += \
                         template.covered_instructions
                     config_writes += 1
+                    if template.kindcode == 1:
+                        loop_configs += 1
+                    elif template.kindcode == 2:
+                        dual_configs += 1
                     if len(cache) >= slots:
                         del cache[next(iter(cache))]
                         evictions += 1
@@ -992,6 +1285,10 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
                         translated_instructions += \
                             new.covered_instructions
                         config_writes += 1
+                        if new.kindcode == 1:
+                            loop_configs += 1
+                        elif new.kindcode == 2:
+                            dual_configs += 1
                         entry = fresh_entry(new)
                         cache[b] = entry   # in-place slot rewrite
                         template = new
@@ -999,19 +1296,77 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
                         entry[2] = new is not None and new.extendable0
 
         # ---- array execution (precomputed exit) ----------------------
-        r = rank[i]
-        code = entry[4][r]
-        entry[3][code] += 1
-        if code >= 3:
-            count = 1 if template.prior_reset[code - 3] else entry[1] + 1
-            entry[1] = count
-            if entry[6][r] or count >= threshold:
-                del cache[b]
-                flushes += 1
-                invalidations += 1
-        elif template.reset_exit:
-            entry[1] = 0
-        i += entry[5][code]
+        kindcode = entry[8]
+        if kindcode == 0:
+            r = rank[i]
+            code = entry[4][r]
+            entry[3][code] += 1
+            if code >= 3:
+                count = 1 if template.prior_reset[code - 3] \
+                    else entry[1] + 1
+                entry[1] = count
+                if entry[6][r] or count >= threshold:
+                    del cache[b]
+                    flushes += 1
+                    invalidations += 1
+            elif template.reset_exit:
+                entry[1] = 0
+            i += entry[5][code]
+        elif kindcode == 1:
+            # loop: the back-edge resets the mis-speculation count every
+            # trip; a clean exit retires the configuration (not a flush)
+            # when the counter saturated in the exit direction.  Verdict
+            # boundaries sit right after the exit's own update, i.e. at
+            # ``i + consumed`` (engine.loop_backedge updates first).
+            code, trips, consumed = template.loop_exit(i)
+            st = entry[3]
+            st[code] += 1
+            st[-1] += trips
+            if code == 0:
+                entry[1] = 0
+                if class_at(template.last_branch_pc, i + consumed) \
+                        == template.back_opp:
+                    del cache[b]
+                    invalidations += 1
+                    loop_retired += 1
+            else:
+                m = code - 1
+                count = 1 if (trips or template.prior_reset[m]) \
+                    else entry[1] + 1
+                entry[1] = count
+                if count >= threshold or class_at(
+                        template.int_pcs[m], i + consumed) \
+                        == template.int_opps[m]:
+                    del cache[b]
+                    flushes += 1
+                    invalidations += 1
+            i += consumed
+        else:
+            # dual: resolution always resets the count (predication is
+            # not a mis-speculation) and retires the configuration once
+            # the branch saturates either way, clearing the slot for a
+            # deeper speculative rebuild (engine.dual_resolution).
+            r = rank[i]
+            code = entry[4][r]
+            entry[3][code] += 1
+            if code < 4:
+                entry[1] = 0
+                if class_at(template.last_branch_pc,
+                            i + template.K) != CLASS_NONE:
+                    del cache[b]
+                    invalidations += 1
+                    dual_retired += 1
+            else:
+                m = code - 4
+                count = 1 if template.prior_reset[m] else entry[1] + 1
+                entry[1] = count
+                if count >= threshold or class_at(
+                        template.int_pcs[m], i + m + 1) \
+                        == template.int_opps[m]:
+                    del cache[b]
+                    flushes += 1
+                    invalidations += 1
+            i += entry[5][code]
 
     # ---- assembly -----------------------------------------------------
     fields = np.asarray(miss_counts, dtype=np.int64) \
@@ -1022,10 +1377,44 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
         extensions=extensions,
         flushes=flushes,
         config_writes=config_writes,
+        loop_configs=loop_configs,
+        dual_configs=dual_configs,
+        loop_retired=loop_retired,
+        dual_retired=dual_retired,
     )
     stalls = 0
     array_cycles = 0
     for template, st in code_stats.items():
+        if template.kindcode == 1:
+            # loop: per-execution costs from the base rows plus one
+            # trip row per accumulated extra trip; ops and array busy
+            # time scale with trips, stalls with executions only
+            # (engine.begin_execution / engine.loop_iteration).
+            extra = st[-1]
+            counts = st[:-1]
+            executions = sum(counts)
+            if not executions:
+                continue
+            fields = fields + np.asarray(counts, dtype=np.int64) \
+                @ np.asarray(template.delta(config.timing),
+                             dtype=np.int64)
+            if extra:
+                fields = fields + extra * np.asarray(
+                    template.trip_row(), dtype=np.int64)
+            runs = executions + extra
+            stats.array_executions += executions
+            stats.loop_executions += executions
+            stats.loop_trips += runs
+            stats.array_alu_ops += template.alu_ops * runs
+            stats.array_mult_ops += template.mult_ops * runs
+            stats.array_mem_ops += template.mem_ops * runs
+            loop_cycles = template.exec_cycles * executions \
+                + template.trip_cycles * extra
+            array_cycles += loop_cycles
+            stats.array_line_cycles += template.lines_used * loop_cycles
+            stalls += max(0, template.rc_cycles
+                          - params.reconfig_overlap) * executions
+            continue
         executions = sum(st)
         if not executions:
             continue
@@ -1040,6 +1429,14 @@ def _replay_spec(context: ColumnarContext, config: SystemConfig,
             template.lines_used * template.exec_cycles * executions
         stalls += max(0, template.rc_cycles
                       - params.reconfig_overlap) * executions
+        if template.kindcode == 2:
+            # both sides' ops were priced above (the allocation covers
+            # the union); the losing side's instructions never commit.
+            stats.dual_executions += executions
+            dual_config = template.config
+            stats.dual_squashed_instructions += \
+                (st[0] + st[1]) * dual_config.dual_taken.covered \
+                + (st[2] + st[3]) * dual_config.dual_fallthrough.covered
     stats.array_cycles = array_cycles
     stats.array_potential_line_cycles = \
         min(config.shape.rows, 1 << 20) * array_cycles

@@ -130,6 +130,10 @@ class CoupledSimulator:
         params = self.config.dim
         stall = engine.begin_execution(config)
         stats.cycles += stall + config.exec_cycles
+        if config.kind == "loop":
+            return self._execute_loop(config)
+        if config.kind == "dual":
+            return self._execute_dual(config)
         committed = 0
         resume_at_start = True
         resume_pc = config.start_pc
@@ -175,6 +179,136 @@ class CoupledSimulator:
         if resume_at_start:
             return True, resume_pc
         return False, config.blocks[-1].block.start_pc
+
+    def _execute_loop(self, config: Configuration) -> Tuple[bool, int]:
+        """Iterate a loop-kind configuration functionally.
+
+        Mirrors ``traceeval._run_loop`` cycle for cycle: each trip
+        re-executes the whole chain, pays the back-edge exit check, and
+        only a continuing back-edge pays the marginal trip cycles.
+        """
+        sim = self.sim
+        engine = self.engine
+        stats = sim.stats
+        params = self.config.dim
+        blocks = config.blocks
+        back = len(blocks) - 1
+        chk = config.loop_check_cycles
+        committed = 0
+        resume_pc = config.start_pc
+        looping = True
+        while looping:
+            for q, cfg_block in enumerate(blocks):
+                block = cfg_block.block
+                self._seen.add(block.start_pc)
+                pc = block.start_pc
+                for idx in range(cfg_block.covered):
+                    self._exec_functional(block.instructions[idx], pc)
+                    pc += 4
+                committed += cfg_block.covered
+                term = block.terminator
+                committed += 1
+                stats.branches += 1
+                if term.klass is InstrClass.BRANCH:
+                    actual = branch_taken(term.mnemonic,
+                                          sim.regs[term.rs],
+                                          sim.regs[term.rt])
+                    if actual:
+                        stats.taken_transfers += 1
+                    target = term.branch_target(block.branch_pc) \
+                        if actual else block.fallthrough_pc
+                    if q == back:
+                        stats.cycles += chk
+                        if engine.loop_backedge(config, cfg_block,
+                                                actual):
+                            stats.cycles += engine.loop_iteration(config)
+                        else:
+                            resume_pc = target
+                            looping = False
+                    elif not engine.speculation_outcome(config, cfg_block,
+                                                        actual):
+                        stats.cycles += params.misspec_penalty
+                        resume_pc = target
+                        looping = False
+                        break
+                else:  # unconditional j interior
+                    stats.taken_transfers += 1
+            if stats.instructions + committed > sim.max_instructions:
+                raise RuntimeError("instruction budget exceeded in array")
+        stats.instructions += committed
+        engine.stats.array_instructions += committed
+        sim.pc = resume_pc
+        sim.reset_block_start(resume_pc)
+        return True, resume_pc
+
+    def _execute_dual(self, config: Configuration) -> Tuple[bool, int]:
+        """Execute a dual-kind configuration functionally.
+
+        Only the winning path's instructions touch architectural state
+        (the loser's write-backs are gated off in hardware); the core
+        resumes mid-block after the winner's covered prefix, exactly as
+        ``traceeval._run_dual`` accounts it.
+        """
+        sim = self.sim
+        engine = self.engine
+        stats = sim.stats
+        params = self.config.dim
+        blocks = config.blocks
+        last = len(blocks) - 1
+        committed = 0
+        resume_pc = config.start_pc
+        winner_block = None
+        for q, cfg_block in enumerate(blocks):
+            block = cfg_block.block
+            self._seen.add(block.start_pc)
+            pc = block.start_pc
+            for idx in range(cfg_block.covered):
+                self._exec_functional(block.instructions[idx], pc)
+                pc += 4
+            committed += cfg_block.covered
+            term = block.terminator
+            committed += 1
+            stats.branches += 1
+            if q == last:
+                actual = branch_taken(term.mnemonic, sim.regs[term.rs],
+                                      sim.regs[term.rt])
+                if actual:
+                    stats.taken_transfers += 1
+                winner = engine.dual_resolution(config, cfg_block, actual)
+                wblk = winner.block
+                self._seen.add(wblk.start_pc)
+                pc = wblk.start_pc
+                for idx in range(winner.covered):
+                    self._exec_functional(wblk.instructions[idx], pc)
+                    pc += 4
+                committed += winner.covered
+                resume_pc = wblk.start_pc + 4 * winner.covered
+                winner_block = wblk
+            elif term.klass is InstrClass.BRANCH:
+                actual = branch_taken(term.mnemonic, sim.regs[term.rs],
+                                      sim.regs[term.rt])
+                if actual:
+                    stats.taken_transfers += 1
+                if not engine.speculation_outcome(config, cfg_block,
+                                                  actual):
+                    stats.cycles += params.misspec_penalty
+                    resume_pc = term.branch_target(block.branch_pc) \
+                        if actual else block.fallthrough_pc
+                    break
+            else:  # unconditional j interior
+                stats.taken_transfers += 1
+        stats.instructions += committed
+        engine.stats.array_instructions += committed
+        if stats.instructions > sim.max_instructions:
+            raise RuntimeError("instruction budget exceeded in array")
+        sim.pc = resume_pc
+        if winner_block is None:
+            # interior mis-speculation: resume at a block start
+            sim.reset_block_start(resume_pc)
+            return True, resume_pc
+        # mid-block resume after the winning path's covered prefix
+        sim.reset_block_start(winner_block.start_pc)
+        return False, winner_block.start_pc
 
     def _array_memory_access(self, address: int) -> None:
         """Charge a data-cache access made by an array LD/ST unit.

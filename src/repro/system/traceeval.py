@@ -108,6 +108,136 @@ def _prefix_mem_ops(block: BasicBlock, covered: int) -> Tuple[int, int]:
     return (loads, stores)
 
 
+def _run_loop(engine: DimEngine, metrics: SystemMetrics, cfg,
+              events, i: int, seen: Set[int],
+              misspec_penalty: int) -> int:
+    """Execute one loop-kind configuration; returns the next event index.
+
+    The array iterates the whole block chain: every trip pays the
+    dataflow depth plus the back-edge exit check, and only the first
+    trip pays reconfiguration and the write-back drain (charged by the
+    caller).  A back-edge resolving off the loop is a clean exit; an
+    interior merged branch mismatching is an ordinary mis-speculation.
+    Mirrored cycle-for-cycle by ``CoupledSimulator._execute_array`` and
+    by the columnar loop template.
+    """
+    committed = 0
+    j = i
+    blocks = cfg.blocks
+    back = len(blocks) - 1
+    chk = cfg.loop_check_cycles
+    looping = True
+    while looping:
+        for q, cfg_block in enumerate(blocks):
+            cfg_blk = cfg_block.block
+            seen.add(cfg_blk.start_pc)
+            ev = events[j]
+            if ev.block_id != cfg_blk.block_id:  # pragma: no cover
+                raise RuntimeError(
+                    "trace/configuration divergence at event "
+                    f"{j}: expected block {cfg_blk.block_id}, "
+                    f"got {ev.block_id}")
+            committed += cfg_block.covered
+            loads, stores = _prefix_mem_ops(cfg_blk, cfg_block.covered)
+            metrics.loads += loads
+            metrics.stores += stores
+            term = cfg_blk.terminator
+            committed += 1
+            metrics.branches += 1
+            j += 1
+            if term.klass is InstrClass.BRANCH:
+                actual = ev.taken
+                if actual:
+                    metrics.taken_transfers += 1
+                if q == back:
+                    metrics.cycles += chk
+                    if engine.loop_backedge(cfg, cfg_block, actual):
+                        metrics.cycles += engine.loop_iteration(cfg)
+                    else:
+                        looping = False
+                elif not engine.speculation_outcome(cfg, cfg_block,
+                                                    actual):
+                    metrics.cycles += misspec_penalty
+                    looping = False
+                    break
+            else:  # unconditional j interior
+                metrics.taken_transfers += 1
+    metrics.instructions += committed
+    engine.stats.array_instructions += committed
+    return j
+
+
+def _run_dual(engine: DimEngine, metrics: SystemMetrics, model,
+              cfg, events, i: int, seen: Set[int],
+              misspec_penalty: int) -> int:
+    """Execute one dual-kind configuration; returns the next event index.
+
+    The chain walks exactly like a linear configuration until the final
+    (predicated) branch: its resolution squashes the losing path's
+    gated write-backs at no penalty, commits the winning path's covered
+    prefix from the array, and the winner's tail executes normally on
+    the core (mid-block resume — no cache lookup, matching the coupled
+    simulator).
+    """
+    committed = 0
+    j = i
+    blocks = cfg.blocks
+    last = len(blocks) - 1
+    for q, cfg_block in enumerate(blocks):
+        cfg_blk = cfg_block.block
+        seen.add(cfg_blk.start_pc)
+        ev = events[j]
+        if ev.block_id != cfg_blk.block_id:  # pragma: no cover
+            raise RuntimeError(
+                "trace/configuration divergence at event "
+                f"{j}: expected block {cfg_blk.block_id}, "
+                f"got {ev.block_id}")
+        committed += cfg_block.covered
+        loads, stores = _prefix_mem_ops(cfg_blk, cfg_block.covered)
+        metrics.loads += loads
+        metrics.stores += stores
+        term = cfg_blk.terminator
+        committed += 1
+        metrics.branches += 1
+        if q == last:
+            actual = ev.taken
+            if actual:
+                metrics.taken_transfers += 1
+            j += 1
+            winner = engine.dual_resolution(cfg, cfg_block, actual)
+            wblk = winner.block
+            seen.add(wblk.start_pc)
+            succ_ev = events[j]
+            if succ_ev.block_id != wblk.block_id:  # pragma: no cover
+                raise RuntimeError(
+                    "trace/configuration divergence at event "
+                    f"{j}: expected block {wblk.block_id}, "
+                    f"got {succ_ev.block_id}")
+            committed += winner.covered
+            loads, stores = _prefix_mem_ops(wblk, winner.covered)
+            metrics.loads += loads
+            metrics.stores += stores
+            _account_normal(metrics, model, wblk, winner.covered,
+                            succ_ev.taken)
+            if wblk.is_conditional:
+                engine.observe_branch(wblk.branch_pc, succ_ev.taken)
+            j += 1
+        elif term.klass is InstrClass.BRANCH:
+            actual = ev.taken
+            if actual:
+                metrics.taken_transfers += 1
+            j += 1
+            if not engine.speculation_outcome(cfg, cfg_block, actual):
+                metrics.cycles += misspec_penalty
+                break
+        else:  # unconditional j interior
+            metrics.taken_transfers += 1
+            j += 1
+    metrics.instructions += committed
+    engine.stats.array_instructions += committed
+    return j
+
+
 def evaluate_trace(trace: Trace, config: SystemConfig,
                    name: str = "",
                    memo: Optional["TranslationMemo"] = None,
@@ -156,6 +286,14 @@ def evaluate_trace(trace: Trace, config: SystemConfig,
         cfg = engine.maybe_extend(cfg)
         stall = engine.begin_execution(cfg)
         metrics.cycles += stall + cfg.exec_cycles
+        if cfg.kind == "loop":
+            i = _run_loop(engine, metrics, cfg, events, i, seen,
+                          config.dim.misspec_penalty)
+            continue
+        if cfg.kind == "dual":
+            i = _run_dual(engine, metrics, model, cfg, events, i, seen,
+                          config.dim.misspec_penalty)
+            continue
         committed = 0
         j = i
         for cfg_block in cfg.blocks:

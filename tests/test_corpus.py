@@ -143,13 +143,31 @@ def test_kernel_seeds_are_distinct_and_stable():
 
 
 def test_profiles_shift_the_category_mix():
-    assert PROFILES == sorted(["mixed", "dataflow", "control", "memory"])
+    assert PROFILES == sorted(["mixed", "dataflow", "control", "memory",
+                               "loopy", "divergent"])
     dataflow = generate_corpus(11, 8, knobs=CorpusKnobs.dataflow())
     control = generate_corpus(11, 8, knobs=CorpusKnobs.control())
     assert sum(k.category == "dataflow" for k in dataflow.kernels) \
         > sum(k.category == "dataflow" for k in control.kernels)
     assert sum(k.category == "control" for k in control.kernels) \
         > sum(k.category == "control" for k in dataflow.kernels)
+
+
+def test_dynflow_profiles_stress_their_modes():
+    """``loopy`` kernels loop hard with predictable control; ``divergent``
+    kernels branch hard with unpredictable control."""
+    loopy = generate_corpus(11, 8, knobs=CorpusKnobs.loopy())
+    divergent = generate_corpus(11, 8, knobs=CorpusKnobs.divergent())
+    for kernel in loopy.kernels:
+        assert min(kernel.knobs.trips) >= 2
+        assert kernel.knobs.diamonds <= 1
+        assert kernel.knobs.predictability >= 0.75
+    for kernel in divergent.kernels:
+        assert kernel.knobs.diamonds >= 3
+        assert kernel.knobs.predictability <= 0.25
+        assert 6 / 16 <= kernel.knobs.branch_bias <= 10 / 16
+    assert sum(k.category == "control" for k in divergent.kernels) \
+        > sum(k.category == "control" for k in loopy.kernels)
 
 
 # ----------------------------------------------------------------------
